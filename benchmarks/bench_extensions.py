@@ -1,0 +1,84 @@
+"""The paper's §6 extensions: compiler hints and cache reuse.
+
+1. Hybrid compiler-hint recognition (§2.1/§6): "Hybrid approaches that
+   use the compiler to identify structure have the potential to
+   alleviate the bottleneck due to training time." The Mini-C compiler
+   exports loop-header/function-entry addresses; hint-assisted
+   recognition considers only those candidates.
+2. Cross-invocation cache reuse (§6): "We have only just begun exploring
+   reusing the trajectory cache across different invocations of the same
+   program." A memoization run's cache is persisted and reused by a
+   second invocation, which starts hitting immediately.
+"""
+
+from conftest import SIZES, publish
+
+from repro.bench import build_collatz
+from repro.cluster import CostModel, laptop1
+from repro.core.cache_io import deserialize_cache, serialize_cache
+from repro.core.engine import MemoizingEngine
+from repro.core.recognizer import Recognizer
+
+
+def _hint_comparison(context):
+    program = context.workload.program
+    config = context.config
+    plain = Recognizer(config).find(program)
+    hinted = Recognizer(config.replace(use_compiler_hints=True)).find(
+        program)
+    plain_validated = sum(1 for c in plain.candidates if c.validated)
+    hinted_validated = sum(1 for c in hinted.candidates if c.validated)
+    return plain, hinted, plain_validated, hinted_validated
+
+
+def test_compiler_hints_recognition(benchmark, ising_context):
+    plain, hinted, plain_n, hinted_n = benchmark.pedantic(
+        _hint_comparison, args=(ising_context,), rounds=1, iterations=1)
+    publish("extension_hints",
+            "recognition without hints: ip=0x%x superstep=%.0f "
+            "(validated %d candidates)\n"
+            "recognition with compiler hints: ip=0x%x superstep=%.0f "
+            "(validated %d candidates)"
+            % (plain.ip, plain.superstep_instructions, plain_n,
+               hinted.ip, hinted.superstep_instructions, hinted_n))
+    # The hinted search lands on compiler-identified structure and finds
+    # a superstep of the same magnitude.
+    hints = ising_context.workload.program.hints
+    assert hinted.ip in hints.all_addresses()
+    assert 0.4 < (hinted.superstep_instructions
+                  / plain.superstep_instructions) < 2.5
+
+
+def _cache_reuse():
+    workload = build_collatz(count=SIZES["collatz_memo_count"],
+                             memoize=True)
+    recognized = Recognizer(workload.config).find_for_memoization(
+        workload.program)
+    factor = max(recognized.superstep_instructions / 2.3e6 / 5.22, 1e-7)
+    platform = laptop1(CostModel().scaled(factor))
+    cold = MemoizingEngine(workload.program, platform,
+                           config=workload.config,
+                           recognized=recognized).run()
+    warm_cache = deserialize_cache(serialize_cache(cold.cache))
+    warm = MemoizingEngine(workload.program, platform,
+                           config=workload.config,
+                           recognized=recognized,
+                           initial_cache=warm_cache).run()
+    return cold, warm
+
+
+def test_cache_reuse_across_invocations(benchmark):
+    cold, warm = benchmark.pedantic(_cache_reuse, rounds=1, iterations=1)
+    publish("extension_cache_reuse",
+            "cold invocation:  scaling=%.3f hits=%d (cache earned: %d "
+            "entries, %d bytes)\n"
+            "warm invocation:  scaling=%.3f hits=%d (cache preloaded)"
+            % (cold.scaling, cold.stats.hits, len(cold.cache),
+               cold.cache.total_bytes, warm.scaling, warm.stats.hits))
+    assert warm.scaling > cold.scaling
+    assert warm.stats.hits > cold.stats.hits
+    # Same trajectory both times.
+    assert (warm.stats.instructions_executed
+            + warm.stats.instructions_fast_forwarded) \
+        == (cold.stats.instructions_executed
+            + cold.stats.instructions_fast_forwarded)

@@ -1,0 +1,49 @@
+"""Figure 3: final RWMA weight matrices per benchmark.
+
+Paper: "Both Collatz and 2mm show a strong preference for the linear
+regressor, although there are several bits ... for which the logistic
+regressor is absolutely crucial. ... the Ising weight matrix clearly
+shows that all four algorithms contribute significantly."
+"""
+
+import numpy as np
+
+from conftest import publish
+
+from repro.analysis import make_weight_matrix
+from repro.analysis.weights import render_weight_matrix
+
+
+def _build_matrices(all_training):
+    out = {}
+    for name, training in all_training.items():
+        out[name] = make_weight_matrix(training)
+    return out
+
+
+def test_fig3_weight_matrices(benchmark, all_training):
+    matrices = benchmark.pedantic(_build_matrices, args=(all_training,),
+                                  rounds=1, iterations=1)
+
+    sections = []
+    for name, (matrix, algorithms) in matrices.items():
+        sections.append("Figure 3 — %s (columns: %d excited bits)"
+                        % (name, matrix.shape[1]))
+        sections.append(render_weight_matrix(matrix, algorithms))
+        shares = matrix.mean(axis=1)
+        sections.append("mean weight share: " + ", ".join(
+            "%s=%.2f" % (a, s) for a, s in zip(algorithms, shares)))
+        sections.append("")
+    publish("fig3_weights", "\n".join(sections))
+
+    for name, (matrix, algorithms) in matrices.items():
+        shares = dict(zip(algorithms, matrix.mean(axis=1)))
+        # Every benchmark leans on the linear regressor for its
+        # induction variables (the paper's strongest row).
+        assert shares["linreg"] > 0.15, name
+        # No algorithm's weight mass collapses to nothing everywhere —
+        # per-bit maxima show each expert owning some bits.
+        per_alg_max = matrix.max(axis=1)
+        assert (per_alg_max > 0.2).sum() >= 2, name
+        # Columns are normalized.
+        assert np.allclose(matrix.sum(axis=0), 1.0)

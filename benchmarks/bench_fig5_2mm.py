@@ -1,0 +1,42 @@
+"""Figure 5: Polybench 2mm scaling on the 32-core server.
+
+Paper shape targets: 2mm's cycle-count potential is much higher than its
+realized scaling; the oracle line shows prediction accuracy is not the
+limit — recursive-prediction time over its much larger tracked-bit set
+is, producing an asymptote around 10x where Ising keeps climbing.
+"""
+
+from conftest import SIZES, publish
+
+from repro.analysis import format_series, scaling_sweep
+from repro.analysis.scaling import ideal_series
+
+
+def _series(context):
+    cores = list(SIZES["server_cores"])
+    return {
+        "ideal": ideal_series(cores),
+        "cycle-count": scaling_sweep(context, cores, cycle_count=True,
+                                     collect_prediction_stats=False),
+        "lasc+oracle": scaling_sweep(context, cores, oracle=True),
+        "lasc": scaling_sweep(context, cores,
+                              collect_prediction_stats=False),
+    }
+
+
+def test_fig5_2mm_server(benchmark, mm2_context, ising_context):
+    series = benchmark.pedantic(_series, args=(mm2_context,),
+                                rounds=1, iterations=1)
+    publish("fig5_2mm_server", format_series(
+        series, title="Figure 5: 2mm on the 32-core server"))
+
+    by = {name: {p.n_cores: p.scaling for p in points}
+          for name, points in series.items()}
+    top = max(SIZES["server_cores"])
+    # 2mm scales, but modestly (paper: asymptote ~10x).
+    assert 1.5 < by["lasc"][top] < top
+    # Oracle tracks actual: accuracy is not the bottleneck (paper §5.4).
+    assert by["lasc+oracle"][top] >= by["lasc"][top] * 0.9
+    # Cycle-count potential well above realized scaling.
+    assert by["cycle-count"][top] >= by["lasc"][top]
+    assert series["lasc"][-1].result.stats.hits > 0

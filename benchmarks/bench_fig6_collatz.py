@@ -1,0 +1,86 @@
+"""Figure 6: Collatz on the server, Blue Gene/P, and a single core.
+
+Paper shape targets: large available parallelism from the outer loop
+(scaling on both cluster platforms), and — on one core, with speculation
+impossible — a generalized-memoization curve that starts below 1
+(dependency-tracking overhead), rises as cached inner-loop suffixes hit,
+and asymptotes around 1.3-1.4x.
+"""
+
+from conftest import SIZES, publish
+
+from repro.analysis import format_series, memoization_curve, scaling_sweep
+from repro.analysis.scaling import ideal_series
+
+
+def _cluster_series(context):
+    server = list(SIZES["server_cores"])
+    bgp = list(SIZES["bgp_cores"])
+    return {
+        "server": {
+            "ideal": ideal_series(server),
+            "cycle-count": scaling_sweep(context, server,
+                                         cycle_count=True,
+                                         collect_prediction_stats=False),
+            "lasc": scaling_sweep(context, server,
+                                  collect_prediction_stats=False),
+        },
+        "bluegene": {
+            "ideal": ideal_series(bgp),
+            "cycle-count": scaling_sweep(context, bgp,
+                                         platform="bluegene_p",
+                                         cycle_count=True,
+                                         collect_prediction_stats=False),
+            "lasc": scaling_sweep(context, bgp, platform="bluegene_p",
+                                  collect_prediction_stats=False),
+        },
+    }
+
+
+def test_fig6_collatz_clusters(benchmark, collatz_context):
+    series = benchmark.pedantic(_cluster_series, args=(collatz_context,),
+                                rounds=1, iterations=1)
+    text = "\n\n".join(
+        format_series(series[key],
+                      title="Figure 6 (%s): Collatz" % key)
+        for key in ("server", "bluegene"))
+    publish("fig6_collatz_clusters", text)
+
+    server = {p.n_cores: p.scaling for p in series["server"]["lasc"]}
+    bgp = {p.n_cores: p.scaling for p in series["bluegene"]["lasc"]}
+    top_server = max(SIZES["server_cores"])
+    top_bgp = max(SIZES["bgp_cores"])
+    # The outer loop parallelizes: solid scaling on the server...
+    assert server[top_server] > 3.0
+    # ...and more headroom on Blue Gene/P.
+    assert bgp[top_bgp] >= server[top_server]
+    assert bgp[top_bgp] > 8.0
+
+
+def test_fig6_collatz_memoization(benchmark, collatz_memo_context):
+    result = benchmark.pedantic(memoization_curve,
+                                args=(collatz_memo_context,),
+                                rounds=1, iterations=1)
+    lines = ["Figure 6 (right): Collatz single-core generalized "
+             "memoization",
+             "%12s  %8s" % ("instructions", "scaling")]
+    for point in result.timeline:
+        lines.append("%12d  %8.3f" % (point.instructions, point.scaling))
+    lines.append("final: scaling=%.3f hits=%d misses=%d"
+                 % (result.scaling, result.stats.hits,
+                    result.stats.misses))
+    publish("fig6_collatz_memoization", "\n".join(lines))
+
+    # The paper's curve: starts below 1 (tracking overhead), rises as
+    # the cache of the program's own past pays off, asymptotes ~1.3x.
+    assert result.timeline[0].scaling < 1.0
+    assert result.scaling > 1.1
+    assert result.scaling < 2.5
+    # Rising then flattening: the last quarter gains less than the
+    # second quarter did.
+    quarter = len(result.timeline) // 4
+    early_gain = (result.timeline[2 * quarter].scaling
+                  - result.timeline[quarter].scaling)
+    late_gain = (result.timeline[-1].scaling
+                 - result.timeline[3 * quarter].scaling)
+    assert late_gain <= early_gain + 0.05

@@ -1,0 +1,53 @@
+"""Table 2: prediction error rates and cache miss rates.
+
+Paper reference (ASPLOS'14, Table 2):
+
+===========================  ======  ======  =======
+                              Ising    2mm   Collatz
+equal-weight error (1 core)   99.1%   92.6%    99.9%
+hindsight-optimal error        1.1%   10.2%     1.7%
+actual error (RWMA)            1.2%    3.2%     1.9%
+cache miss rate (32 cores)     0.5%    2.9%     0.3%
+===========================  ======  ======  =======
+
+Shape targets: the regret-minimized (actual) rate lands near the
+hindsight-optimal rate and far below equal weighting; the 32-core cache
+miss rate is low because dependency keying forgives irrelevant bits.
+"""
+
+from conftest import publish
+
+from repro.analysis import format_table, make_table2
+
+_ROW_ORDER = [
+    "equal_weight_error_rate", "hindsight_optimal_error_rate",
+    "actual_error_rate", "total_predictions", "incorrect_predictions",
+    "cache_miss_rate_32_cores",
+]
+
+
+def test_table2(benchmark, all_contexts, all_training):
+    rows = benchmark.pedantic(
+        make_table2, args=(all_contexts,),
+        kwargs={"training": all_training}, rounds=1, iterations=1)
+
+    publish("table2", format_table(
+        rows, title="Table 2: prediction error and cache miss rates",
+        row_order=_ROW_ORDER, column_order=["ising", "2mm", "collatz"]))
+
+    for name, row in rows.items():
+        actual = row["actual_error_rate"]
+        equal = row["equal_weight_error_rate"]
+        hindsight = row["hindsight_optimal_error_rate"]
+        # RWMA beats equal weighting decisively...
+        assert equal >= actual
+        # ...and tracks the clairvoyant best-expert mix closely.
+        assert actual <= hindsight + 0.15
+        # Dependency-keyed matching keeps actual errors low in absolute
+        # terms (paper: 1.2-3.2%).
+        assert actual < 0.35
+        assert row["total_predictions"] > 50
+    # Cache miss rates at 32 cores stay moderate (the paper's are <3%;
+    # ours include pipeline-late misses, see EXPERIMENTS.md).
+    for name, row in rows.items():
+        assert row["cache_miss_rate_32_cores"] < 0.5

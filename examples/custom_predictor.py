@@ -1,0 +1,106 @@
+"""Extending LASC with a custom predictor (§4.4.2: "LASC is extensible").
+
+Run:  python examples/custom_predictor.py
+
+Implements a *modular counter* predictor — it hypothesizes that a word
+follows ``x' = (x + stride) mod m`` — plugs it into the ensemble next to
+the stock four algorithms, and shows the Randomized Weighted Majority
+machinery automatically routing the bits it is best at to it. This is
+the paper's extensibility story: any model that can emit per-bit
+predictions can join the ensemble, and regret minimization sorts out
+who to trust, bit by bit.
+"""
+
+import numpy as np
+
+from repro.core.excitation import ObservationView
+from repro.core.predictors import (
+    LinearRegressionPredictor,
+    MeanPredictor,
+    PredictorEnsemble,
+    WeathermanPredictor,
+)
+from repro.core.predictors.base import Predictor
+
+
+class ModularCounterPredictor(Predictor):
+    """Learns x' = (x + stride) mod m per word from observed pairs."""
+
+    name = "modcounter"
+
+    def __init__(self, modulus=10):
+        super().__init__()
+        self.modulus = modulus
+        self._strides = {}  # word index -> consensus stride
+
+    def update(self, prev_view, next_view):
+        self.ensure_capacity(next_view.n_bits)
+        prev = prev_view.word_values.tolist()
+        nxt = next_view.word_values.tolist()
+        for i, (x, y) in enumerate(zip(prev, nxt)):
+            stride = (y - x) % self.modulus
+            seen = self._strides.setdefault(i, {})
+            seen[stride] = seen.get(stride, 0) + 1
+
+    def _predict_word(self, i, x):
+        seen = self._strides.get(i)
+        if not seen:
+            return x, 0.5
+        stride, count = max(seen.items(), key=lambda kv: kv[1])
+        total = sum(seen.values())
+        value = (x + stride) % self.modulus
+        return value, max(0.5, min(0.99, count / total))
+
+    def predict(self, view):
+        self.ensure_capacity(view.n_bits)
+        words = np.empty(view.n_bits // 32, dtype=np.uint32)
+        confidence = np.empty(view.n_bits)
+        for i, x in enumerate(view.word_values.tolist()):
+            value, conf = self._predict_word(i, int(x))
+            words[i] = value
+            confidence[32 * i:32 * i + 32] = conf
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        return bits, confidence
+
+
+def view_of(value):
+    words = np.array([value], dtype=np.uint32)
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return ObservationView(words, bits, version=1, index=-1)
+
+
+def main():
+    # A mod-10 counter: 0,3,6,9,2,5,8,1,... — hostile to affine fits,
+    # trivial for the custom predictor.
+    ensemble = PredictorEnsemble([
+        MeanPredictor(),
+        WeathermanPredictor(),
+        LinearRegressionPredictor(),
+        ModularCounterPredictor(modulus=10),
+    ], beta=0.3)
+
+    sequence = [(3 * i) % 10 for i in range(40)]
+    correct = []
+    for value in sequence:
+        outcome = ensemble.observe(view_of(value))
+        if outcome.scored:
+            correct.append(
+                not (outcome.ensemble_bits != outcome.actual_bits).any())
+
+    print("prediction accuracy over a (x+3) mod 10 counter:")
+    print("  first 10 observations: %d/10 correct"
+          % sum(correct[:10]))
+    print("  last 10 observations:  %d/10 correct"
+          % sum(correct[-10:]))
+
+    weights = ensemble.weight_matrix()
+    print("\nfinal normalized RWMA weight (mean over bits):")
+    for name, row in zip(ensemble.expert_names, weights):
+        print("  %-24s %.3f" % (name, row.mean()))
+    print("\nThe regret minimizer discovered — per bit, online, with no "
+          "hints — that the\ncustom predictor is the expert to trust "
+          "for this pattern.")
+
+
+if __name__ == "__main__":
+    main()

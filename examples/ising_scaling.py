@@ -1,0 +1,65 @@
+"""The paper's headline experiment: scaling the Ising kernel (Figure 4).
+
+Run:  python examples/ising_scaling.py [nodes]
+
+The Ising kernel walks a linked list of spin configurations looking for
+the minimum-energy element — pointer-chasing code that parallelizing
+compilers give up on. LASC parallelizes it by *learning* the address
+sequence of the list nodes, speculating future iterations on spare
+cores, and fast-forwarding through the trajectory cache.
+"""
+
+import sys
+
+from repro import ExperimentContext, build_ising, scaling_sweep
+from repro.analysis import format_series
+from repro.analysis.scaling import ideal_series
+from repro.bench.handparallel import hand_parallel_scaling
+from repro.analysis.scaling import ScalingPoint
+
+
+def main(nodes=256):
+    workload = build_ising(nodes=nodes, spins=8)
+    print("building %s..." % workload.description)
+    context = ExperimentContext(workload)
+    recognized = context.recognized
+    print("recognizer chose IP 0x%x (superstep ~%.0f instructions, "
+          "converged after %d instructions)"
+          % (recognized.ip, recognized.superstep_instructions,
+             recognized.search_instructions))
+
+    server_cores = [1, 2, 4, 8, 16, 32]
+    total = context.record.total_instructions
+    series = {
+        "ideal": ideal_series(server_cores),
+        "hand-parallel": [
+            ScalingPoint(n, hand_parallel_scaling(n, total, nodes))
+            for n in server_cores],
+        "lasc+oracle": scaling_sweep(context, server_cores, oracle=True),
+        "lasc": scaling_sweep(context, server_cores,
+                              collect_prediction_stats=False),
+    }
+    print()
+    print(format_series(series, title="Ising on the simulated 32-core "
+                                      "server (paper Figure 4, left)"))
+
+    bgp_cores = [8, 32, 128, 512, 1024]
+    bgp = {
+        "ideal": ideal_series(bgp_cores),
+        "lasc": scaling_sweep(context, bgp_cores, platform="bluegene_p",
+                              collect_prediction_stats=False),
+    }
+    print()
+    print(format_series(bgp, title="Ising on the simulated Blue Gene/P "
+                                   "(paper Figure 4, right)"))
+
+    final = bgp["lasc"][-1].result
+    print("\nat %d cores: %d supersteps fast-forwarded, %d executed "
+          "(%d misses: %d late, %d mispredicted)"
+          % (final.n_cores, final.stats.hits,
+             final.stats.misses, final.stats.misses,
+             final.stats.misses_late, final.stats.misses_nomatch))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 256)

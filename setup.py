@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment this repo is developed in has no network access and no
+``wheel`` package, so ``pip install -e .`` (PEP 660) cannot build an
+editable wheel. ``python setup.py develop`` provides the equivalent
+editable install using setuptools alone; with ``wheel`` available,
+``pip install -e .`` works as usual.
+"""
+
+from setuptools import setup
+
+setup()

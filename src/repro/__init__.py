@@ -1,0 +1,70 @@
+"""repro: a reproduction of "ASC: Automatically Scalable Computation"
+(Waterland et al., ASPLOS 2014).
+
+Layers, bottom up:
+
+* :mod:`repro.isa`, :mod:`repro.machine` — the SVM32 instruction set and
+  the trajectory-based functional simulator (state vectors, dependency
+  tracking, binary deltas);
+* :mod:`repro.asm`, :mod:`repro.minic`, :mod:`repro.loader` — the
+  toolchain: assembler, Mini-C compiler, program images;
+* :mod:`repro.core` — LASC: recognizer, predictors, RWMA allocator,
+  trajectory cache, and the sequential/parallel/memoizing engines;
+* :mod:`repro.cluster` — simulated platforms and cost models;
+* :mod:`repro.bench`, :mod:`repro.analysis` — the paper's benchmarks and
+  the drivers that regenerate its tables and figures.
+
+Quickstart::
+
+    from repro import build_ising, ExperimentContext, scaling_sweep
+    context = ExperimentContext(build_ising(nodes=128, spins=8))
+    for point in scaling_sweep(context, [4, 16, 32]):
+        print(point)
+"""
+
+from repro.minic import compile_source
+from repro.asm import assemble
+from repro.core import (
+    EngineConfig,
+    MemoizingEngine,
+    ParallelEngine,
+    Recognizer,
+    TrajectoryCache,
+    run_sequential,
+)
+from repro.cluster import CostModel, Platform, bluegene_p, laptop1, server32
+from repro.bench import build_collatz, build_ising, build_mm2
+from repro.analysis import (
+    ExperimentContext,
+    make_table1,
+    make_table2,
+    memoization_curve,
+    scaling_sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_source",
+    "assemble",
+    "EngineConfig",
+    "MemoizingEngine",
+    "ParallelEngine",
+    "Recognizer",
+    "TrajectoryCache",
+    "run_sequential",
+    "CostModel",
+    "Platform",
+    "bluegene_p",
+    "laptop1",
+    "server32",
+    "build_collatz",
+    "build_ising",
+    "build_mm2",
+    "ExperimentContext",
+    "make_table1",
+    "make_table2",
+    "memoization_curve",
+    "scaling_sweep",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Experiment drivers: regenerate every table and figure in §5.
+
+Each module produces plain data structures (rows, series) plus text
+rendering, so the pytest-benchmark harness under ``benchmarks/`` and the
+examples can share one implementation.
+"""
+
+from repro.analysis.scaling import (
+    ExperimentContext,
+    ScalingPoint,
+    scaling_sweep,
+    memoization_curve,
+)
+from repro.analysis.tables import make_table1, make_table2
+from repro.analysis.weights import make_weight_matrix
+from repro.analysis.report import format_table, format_series
+
+__all__ = [
+    "ExperimentContext",
+    "ScalingPoint",
+    "scaling_sweep",
+    "memoization_curve",
+    "make_table1",
+    "make_table2",
+    "make_weight_matrix",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment outputs."""
+
+
+def _format_value(value):
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return "%.3g" % value
+        return "%.4g" % value
+    return str(value)
+
+
+def format_table(rows, title=None, row_order=None, column_order=None):
+    """Render ``{column: {row_label: value}}`` as an aligned text table.
+
+    ``rows`` maps column names (e.g. benchmark names) to dicts of row
+    label -> value, mirroring the paper's tables (benchmarks across the
+    top, statistics down the side).
+    """
+    columns = column_order or list(rows)
+    labels = row_order or list(next(iter(rows.values())))
+    label_width = max(len(label) for label in labels)
+    widths = {c: max(len(c), max(len(_format_value(rows[c][label]))
+                                 for label in labels))
+              for c in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * label_width + "  " + "  ".join(
+        c.rjust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label in labels:
+        cells = "  ".join(
+            _format_value(rows[c][label]).rjust(widths[c]) for c in columns)
+        lines.append(label.ljust(label_width) + "  " + cells)
+    return "\n".join(lines)
+
+
+def format_series(series, title=None, x_label="cores", y_label="scaling"):
+    """Render named scaling series side by side.
+
+    ``series`` maps a name to a list of
+    :class:`repro.analysis.scaling.ScalingPoint`.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    names = list(series)
+    xs = sorted({p.n_cores for points in series.values() for p in points})
+    widths = [max(len(name), 8) for name in names]
+    header = x_label.rjust(6) + "  " + "  ".join(
+        name.rjust(w) for name, w in zip(names, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    lookup = {name: {p.n_cores: p.scaling for p in points}
+              for name, points in series.items()}
+    for x in xs:
+        cells = []
+        for name, w in zip(names, widths):
+            value = lookup[name].get(x)
+            cells.append(("%.2f" % value if value is not None else "-")
+                         .rjust(w))
+        lines.append(str(x).rjust(6) + "  " + "  ".join(cells))
+    return "\n".join(lines)

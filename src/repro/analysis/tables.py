@@ -1,0 +1,68 @@
+"""Tables 1 and 2: recognizer statistics and prediction error rates."""
+
+from repro.analysis.scaling import scaling_sweep
+from repro.analysis.training import train_on_boundaries
+
+
+def make_table1(contexts, training=None):
+    """Recognizer statistics per benchmark (the paper's Table 1).
+
+    ``contexts`` maps benchmark name to :class:`ExperimentContext`;
+    ``training`` optionally maps name to a precomputed
+    :class:`TrainingResult` (otherwise one is run here).
+
+    Row semantics match the paper: total time and converge time in
+    executed instructions (the paper's "cycles" are simulator
+    instructions), average jump is the mean superstep, cache query size
+    is the mean delta-compressed boundary-to-boundary state difference,
+    lines of code counts the benchmark's C source, unique IP values
+    counts distinct instruction addresses observed.
+    """
+    rows = {}
+    for name, context in contexts.items():
+        result = (training or {}).get(name)
+        if result is None:
+            result = train_on_boundaries(context)
+        program = context.workload.program
+        recognized = context.recognized
+        rows[name] = {
+            "total_instructions": context.record.total_instructions,
+            "converge_instructions": recognized.search_instructions,
+            "average_jump": context.record.mean_superstep_instructions,
+            "state_vector_bits": program.layout.n_bits,
+            "cache_query_bits": result.mean_query_bits,
+            "lines_of_code": program.source_line_count,
+            "unique_ip_values": program.unique_ip_count,
+        }
+    return rows
+
+
+def make_table2(contexts, training=None, miss_rate_cores=32):
+    """Prediction error rates and cache miss rates (the paper's Table 2).
+
+    Error rates are state-level over dependency-relevant bits, measured
+    on one core; the cache miss rate comes from a real engine run at
+    ``miss_rate_cores`` cores on the scaled server platform.
+    """
+    rows = {}
+    for name, context in contexts.items():
+        result = (training or {}).get(name)
+        if result is None:
+            result = train_on_boundaries(context)
+        pstats = result.prediction_stats
+        relevant = result.relevant_bits
+        points = scaling_sweep(context, [miss_rate_cores],
+                               platform="server32",
+                               collect_prediction_stats=False)
+        run = points[0].result
+        rows[name] = {
+            "equal_weight_error_rate":
+                pstats.equal_weight_error_rate(relevant),
+            "hindsight_optimal_error_rate":
+                pstats.hindsight_error_rate(relevant),
+            "actual_error_rate": pstats.actual_error_rate(relevant),
+            "total_predictions": pstats.total_predictions(),
+            "incorrect_predictions": pstats.incorrect_predictions(relevant),
+            "cache_miss_rate_32_cores": run.stats.miss_rate,
+        }
+    return rows

@@ -1,0 +1,55 @@
+"""Figure 3: final RWMA weight matrices.
+
+Rows are the paper's four algorithms (instances of the same algorithm —
+logistic regression at several learning rates — are summed), columns the
+program's excited bits, cells the normalized weight the regret
+minimizer assigned each algorithm for each bit.
+"""
+
+import numpy as np
+
+
+#: Algorithm display order, matching the paper's figure.
+ALGORITHM_ORDER = ("mean", "weatherman", "logistic", "linreg")
+
+
+def _algorithm_of(instance_name):
+    return instance_name.split("(")[0]
+
+
+def make_weight_matrix(training_result):
+    """Aggregate a trained ensemble's weights by algorithm.
+
+    Returns ``(matrix, algorithms)``: matrix has one row per algorithm in
+    :data:`ALGORITHM_ORDER` and one column per target bit, each column
+    normalized to sum to 1.
+    """
+    ensemble = training_result.ensemble
+    raw = ensemble.weight_matrix(normalized=False)
+    algorithms = list(ALGORITHM_ORDER)
+    matrix = np.zeros((len(algorithms), raw.shape[1]))
+    for instance, row in zip(ensemble.expert_names, raw):
+        algorithm = _algorithm_of(instance)
+        matrix[algorithms.index(algorithm)] += row
+    totals = matrix.sum(axis=0)
+    totals[totals == 0] = 1.0
+    return matrix / totals, algorithms
+
+
+def render_weight_matrix(matrix, algorithms, max_columns=96):
+    """ASCII heatmap of a weight matrix (darker = heavier weight)."""
+    shades = " .:-=+*#%@"
+    n_bits = matrix.shape[1]
+    if n_bits > max_columns:
+        # Downsample columns by averaging fixed-size groups.
+        group = -(-n_bits // max_columns)
+        pad = (-n_bits) % group
+        padded = np.pad(matrix, ((0, 0), (0, pad)))
+        matrix = padded.reshape(matrix.shape[0], -1, group).mean(axis=2)
+    lines = []
+    for algorithm, row in zip(algorithms, matrix):
+        cells = "".join(
+            shades[min(int(v * (len(shades) - 1) + 0.5), len(shades) - 1)]
+            for v in row)
+        lines.append("%-12s |%s|" % (algorithm, cells))
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""SVM32 assembler toolchain.
+
+A two-pass assembler with labels, data directives, and separate code/data
+segments, plus a disassembler. The Mini-C compiler emits this assembly
+text, mirroring the paper's pipeline of compiling C benchmarks down to
+freestanding binaries for the simulator.
+"""
+
+from repro.asm.assembler import assemble, assemble_program
+from repro.asm.disassembler import disassemble, disassemble_program
+
+__all__ = ["assemble", "assemble_program", "disassemble", "disassemble_program"]

@@ -1,0 +1,275 @@
+"""Two-pass assembler for SVM32.
+
+Pass one walks the parsed statements, tracking the current segment (code
+or data) and assigning every label an offset; pass two encodes
+instructions with all symbol references resolved to absolute addresses.
+The result is a :class:`repro.loader.image.Program`.
+
+Supported directives::
+
+    .code / .text        switch to the code segment (default)
+    .data                switch to the data segment
+    .word v, v, ...      emit 32-bit little-endian values (ints or labels)
+    .byte v, v, ...      emit bytes
+    .space N             emit N zero bytes
+    .align N             pad the current segment to an N-byte boundary
+    .entry label         set the program entry point (default: 'start'
+                         label if present, else the first code address)
+"""
+
+from repro.errors import AssemblerError
+from repro.isa.encoding import INSTRUCTION_SIZE
+from repro.isa.instruction import Instruction, MemOperand
+from repro.isa.opcodes import MNEMONIC_TO_OP, Op, OperandShape, OPCODE_INFO
+from repro.asm.lexer import tokenize
+from repro.asm.parser import (
+    DirectiveStmt,
+    ImmOperand,
+    LabelStmt,
+    MemRef,
+    RegOperand,
+    SymRef,
+    parse_line,
+)
+from repro.loader.image import DEFAULT_CODE_BASE, DEFAULT_STACK_SIZE, Program
+
+_CODE = "code"
+_DATA = "data"
+
+
+def _operand_kind(operand):
+    if isinstance(operand, RegOperand):
+        return "reg"
+    if isinstance(operand, MemRef):
+        return "mem"
+    return "imm"
+
+
+_SHAPE_SIGNATURE = {
+    OperandShape.NONE: (),
+    OperandShape.R: ("reg",),
+    OperandShape.I: ("imm",),
+    OperandShape.RR: ("reg", "reg"),
+    OperandShape.RI: ("reg", "imm"),
+    OperandShape.MEM_LOAD: ("reg", "mem"),
+    OperandShape.MEM_STORE: ("mem", "reg"),
+    OperandShape.JUMP: ("imm",),
+}
+
+
+def _select_opcode(stmt):
+    """Pick the opcode whose operand shape matches the statement."""
+    candidates = MNEMONIC_TO_OP.get(stmt.mnemonic)
+    if not candidates:
+        raise AssemblerError("unknown mnemonic %r" % stmt.mnemonic,
+                             line=stmt.line)
+    signature = tuple(_operand_kind(o) for o in stmt.operands)
+    for op in candidates:
+        if _SHAPE_SIGNATURE[OPCODE_INFO[op].shape] == signature:
+            return op
+    raise AssemblerError(
+        "no form of %r takes operands (%s)"
+        % (stmt.mnemonic, ", ".join(signature) or "none"), line=stmt.line)
+
+
+class _Assembler:
+    def __init__(self, source):
+        self.source = source
+        self.labels = {}  # name -> (segment, offset)
+        self.entry_ref = None
+        self.items = []  # (segment, kind, payload, line)
+        self.code_size = 0
+        self.data_size = 0
+
+    # -- pass one ------------------------------------------------------------
+
+    def _offset(self, segment):
+        return self.code_size if segment == _CODE else self.data_size
+
+    def _grow(self, segment, amount):
+        if segment == _CODE:
+            self.code_size += amount
+        else:
+            self.data_size += amount
+
+    def pass_one(self):
+        segment = _CODE
+        for line_no, tokens in tokenize(self.source):
+            for stmt in parse_line(tokens, line_no):
+                if isinstance(stmt, LabelStmt):
+                    if stmt.name in self.labels:
+                        raise AssemblerError(
+                            "duplicate label %r" % stmt.name, line=stmt.line)
+                    self.labels[stmt.name] = (segment, self._offset(segment))
+                elif isinstance(stmt, DirectiveStmt):
+                    segment = self._directive(stmt, segment)
+                else:
+                    if segment != _CODE:
+                        raise AssemblerError(
+                            "instruction in data segment", line=stmt.line)
+                    self.items.append((_CODE, "instr", stmt, stmt.line))
+                    self._grow(_CODE, INSTRUCTION_SIZE)
+
+    def _int_args(self, stmt, count=None):
+        values = []
+        for arg in stmt.args:
+            if not isinstance(arg, ImmOperand):
+                raise AssemblerError(
+                    "%s takes immediate arguments" % stmt.name, line=stmt.line)
+            values.append(arg.value)
+        if count is not None and len(values) != count:
+            raise AssemblerError(
+                "%s takes %d argument(s)" % (stmt.name, count), line=stmt.line)
+        return values
+
+    def _directive(self, stmt, segment):
+        name = stmt.name
+        if name in (".code", ".text"):
+            return _CODE
+        if name == ".data":
+            return _DATA
+        if name == ".entry":
+            (value,) = self._int_args(stmt, 1)
+            if not isinstance(value, SymRef):
+                raise AssemblerError(".entry takes a label", line=stmt.line)
+            self.entry_ref = value
+            return segment
+        if name == ".word":
+            values = self._int_args(stmt)
+            if not values:
+                raise AssemblerError(".word needs arguments", line=stmt.line)
+            self.items.append((segment, "word", values, stmt.line))
+            self._grow(segment, 4 * len(values))
+            return segment
+        if name == ".byte":
+            values = self._int_args(stmt)
+            if not values:
+                raise AssemblerError(".byte needs arguments", line=stmt.line)
+            self.items.append((segment, "byte", values, stmt.line))
+            self._grow(segment, len(values))
+            return segment
+        if name == ".space":
+            (amount,) = self._int_args(stmt, 1)
+            if isinstance(amount, SymRef) or amount < 0:
+                raise AssemblerError(".space takes a non-negative count",
+                                     line=stmt.line)
+            self.items.append((segment, "space", amount, stmt.line))
+            self._grow(segment, amount)
+            return segment
+        if name == ".align":
+            (alignment,) = self._int_args(stmt, 1)
+            if isinstance(alignment, SymRef) or alignment <= 0:
+                raise AssemblerError(".align takes a positive count",
+                                     line=stmt.line)
+            offset = self._offset(segment)
+            pad = (-offset) % alignment
+            self.items.append((segment, "space", pad, stmt.line))
+            self._grow(segment, pad)
+            return segment
+        raise AssemblerError("unknown directive %r" % name, line=stmt.line)
+
+    # -- pass two ------------------------------------------------------------
+
+    def resolve_symbols(self, code_base, data_base):
+        symbols = {}
+        for name, (segment, offset) in self.labels.items():
+            base = code_base if segment == _CODE else data_base
+            symbols[name] = base + offset
+        return symbols
+
+    def _resolve(self, value, symbols, line):
+        if isinstance(value, SymRef):
+            if value.name not in symbols:
+                raise AssemblerError("undefined symbol %r" % value.name,
+                                     line=line)
+            return symbols[value.name] + value.addend
+        return value
+
+    def _encode_instr(self, stmt, symbols):
+        op = _select_opcode(stmt)
+        shape = OPCODE_INFO[op].shape
+        ops = stmt.operands
+        if shape == OperandShape.NONE:
+            instr = Instruction(op)
+        elif shape == OperandShape.R:
+            instr = Instruction(op, ra=ops[0].reg)
+        elif shape in (OperandShape.I, OperandShape.JUMP):
+            imm = self._resolve(ops[0].value, symbols, stmt.line)
+            instr = Instruction(op, imm=imm)
+        elif shape == OperandShape.RR:
+            instr = Instruction(op, ra=ops[0].reg, rb=ops[1].reg)
+        elif shape == OperandShape.RI:
+            imm = self._resolve(ops[1].value, symbols, stmt.line)
+            instr = Instruction(op, ra=ops[0].reg, imm=imm)
+        elif shape == OperandShape.MEM_LOAD:
+            mem = self._mem_operand(ops[1], symbols, stmt.line)
+            instr = Instruction.with_mem(op, ops[0].reg, mem)
+        elif shape == OperandShape.MEM_STORE:
+            mem = self._mem_operand(ops[0], symbols, stmt.line)
+            instr = Instruction.with_mem(op, ops[1].reg, mem)
+        else:
+            raise AssemblerError("unhandled shape %r" % shape, line=stmt.line)
+        return instr.encode()
+
+    def _mem_operand(self, ref, symbols, line):
+        disp = self._resolve(ref.disp, symbols, line)
+        return MemOperand(base=ref.base, index=ref.index, scale=ref.scale,
+                          disp=disp)
+
+    def pass_two(self, symbols):
+        code = bytearray()
+        data = bytearray()
+        for segment, kind, payload, line in self.items:
+            out = code if segment == _CODE else data
+            if kind == "instr":
+                out.extend(self._encode_instr(payload, symbols))
+            elif kind == "word":
+                for value in payload:
+                    value = self._resolve(value, symbols, line)
+                    out.extend((value & 0xFFFFFFFF).to_bytes(4, "little"))
+            elif kind == "byte":
+                for value in payload:
+                    value = self._resolve(value, symbols, line)
+                    out.append(value & 0xFF)
+            elif kind == "space":
+                out.extend(b"\x00" * payload)
+            else:
+                raise AssemblerError("unhandled item kind %r" % kind, line=line)
+        return bytes(code), bytes(data)
+
+
+def assemble_program(source, name="program",
+                     code_base=DEFAULT_CODE_BASE,
+                     stack_size=DEFAULT_STACK_SIZE,
+                     mem_size=None, source_for_loc=None):
+    """Assemble SVM32 assembly text into a :class:`Program`.
+
+    ``source_for_loc`` optionally carries the original higher-level source
+    (e.g. Mini-C) so Table 1's lines-of-code statistic reflects it instead
+    of the generated assembly.
+    """
+    asm = _Assembler(source)
+    asm.pass_one()
+    data_base = (code_base + asm.code_size + 15) // 16 * 16
+    symbols = asm.resolve_symbols(code_base, data_base)
+    code, data = asm.pass_two(symbols)
+
+    if asm.entry_ref is not None:
+        entry = symbols.get(asm.entry_ref.name)
+        if entry is None:
+            raise AssemblerError("undefined entry label %r"
+                                 % asm.entry_ref.name)
+        entry += asm.entry_ref.addend
+    elif "start" in symbols:
+        entry = symbols["start"]
+    else:
+        entry = code_base
+
+    return Program(name, code, data, symbols, entry, code_base=code_base,
+                   stack_size=stack_size, mem_size=mem_size,
+                   source=source_for_loc if source_for_loc is not None
+                   else source)
+
+
+# Short alias used throughout tests and examples.
+assemble = assemble_program

@@ -1,0 +1,35 @@
+"""Disassembler for SVM32 code bytes."""
+
+from repro.errors import EncodingError
+from repro.isa.encoding import INSTRUCTION_SIZE
+from repro.isa.instruction import Instruction
+
+
+def disassemble(code, base=0):
+    """Decode ``code`` into ``(address, Instruction)`` pairs.
+
+    ``base`` is the program address of ``code[0]``; addresses in the output
+    are absolute. Raises :class:`EncodingError` on undecodable bytes or a
+    trailing partial instruction.
+    """
+    if len(code) % INSTRUCTION_SIZE:
+        raise EncodingError(
+            "code length %d is not a multiple of %d"
+            % (len(code), INSTRUCTION_SIZE))
+    out = []
+    for offset in range(0, len(code), INSTRUCTION_SIZE):
+        out.append((base + offset, Instruction.decode(code, offset)))
+    return out
+
+
+def disassemble_program(program):
+    """Render a :class:`Program`'s code as listing text."""
+    addr_to_label = {}
+    for name, addr in program.symbols.items():
+        addr_to_label.setdefault(addr, []).append(name)
+    lines = []
+    for addr, instr in disassemble(program.code, base=program.code_base):
+        for label in sorted(addr_to_label.get(addr, ())):
+            lines.append("%s:" % label)
+        lines.append("  0x%06x  %s" % (addr, instr))
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Line lexer for SVM32 assembly source."""
+
+import re
+
+from repro.errors import AssemblerError
+from repro.isa.registers import NAME_TO_REG
+
+# Token kinds.
+IDENT = "ident"
+REG = "reg"
+INT = "int"
+DIRECTIVE = "directive"
+PUNCT = "punct"  # one of , : [ ] + - *
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>[;\#].*)
+  | (?P<directive>\.[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<int>[0-9]+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.$]*)
+  | (?P<punct>[,:\[\]+\-*])
+""", re.VERBOSE)
+
+
+class Token:
+    """One lexical token with its source line for error reporting."""
+
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+def tokenize_line(text, line_no):
+    """Tokenize one source line; returns a (possibly empty) token list."""
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise AssemblerError(
+                "unexpected character %r" % text[pos], line=line_no)
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        if match.lastgroup == "directive":
+            tokens.append(Token(DIRECTIVE, match.group().lower(), line_no))
+        elif match.lastgroup in ("hex", "int"):
+            tokens.append(Token(INT, int(match.group(), 0), line_no))
+        elif match.lastgroup == "ident":
+            word = match.group()
+            if word.lower() in NAME_TO_REG:
+                tokens.append(Token(REG, int(NAME_TO_REG[word.lower()]),
+                                    line_no))
+            else:
+                tokens.append(Token(IDENT, word, line_no))
+        else:
+            tokens.append(Token(PUNCT, match.group(), line_no))
+    return tokens
+
+
+def tokenize(source):
+    """Tokenize full source; yields ``(line_no, tokens)`` for non-empty lines."""
+    for line_no, text in enumerate(source.splitlines(), start=1):
+        tokens = tokenize_line(text, line_no)
+        if tokens:
+            yield line_no, tokens

@@ -1,0 +1,31 @@
+"""The paper's three benchmarks (§5.1), compiled from Mini-C.
+
+* ``ising`` — pointer-chasing condensed-matter kernel: walk a linked
+  list of spin configurations, computing each one's energy and tracking
+  the minimum. Dynamic data structures defeat static parallelization;
+  LASC parallelizes it by *predicting the addresses* of list nodes.
+* ``mm2`` — Polybench/C 2mm: D = alpha*A*B*C + beta*D over square
+  integer matrices; regular loops, classic compiler territory.
+* ``collatz`` — iterate over integers testing the notoriously chaotic
+  3x+1 convergence; embarrassingly parallel outer loop, and inner-loop
+  structure that single-core LASC exploits as generalized memoization.
+
+Each builder embeds the benchmark's input data (spin configurations,
+matrices) as compile-time initializers — the paper's programs likewise
+load all input up front and perform no I/O.
+"""
+
+from repro.bench.workload import Workload
+from repro.bench.ising import build_ising
+from repro.bench.mm2 import build_mm2
+from repro.bench.collatz import build_collatz
+from repro.bench.handparallel import hand_parallel_scaling
+
+__all__ = ["Workload", "build_ising", "build_mm2", "build_collatz",
+           "hand_parallel_scaling", "WORKLOAD_BUILDERS"]
+
+WORKLOAD_BUILDERS = {
+    "ising": build_ising,
+    "2mm": build_mm2,
+    "collatz": build_collatz,
+}

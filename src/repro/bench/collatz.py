@@ -1,0 +1,76 @@
+"""The Collatz kernel: exhaustive 3x+1 convergence testing (§5.1).
+
+"This program iterates over the positive integers in its outer loop, and
+in its inner loop performs a notoriously chaotic property test." The
+outer loop is trivially parallel (and LASC finds it); the inner loop's
+shared convergence suffixes are what the single-core memoization
+experiment (Figure 6, right) exploits.
+"""
+
+from string import Template
+
+from repro.bench.workload import Workload
+from repro.core.config import EngineConfig
+from repro.minic import compile_source
+
+_SOURCE = Template("""
+// Collatz kernel: test 3x+1 convergence for 1..limit
+int limit = $count;
+int verified;
+
+int main() {
+    int n;
+    for (n = 1; n <= limit; n++) {
+        int x = n;
+        while (x != 1) {
+            if (x % 2 == 0) {
+                x = x / 2;
+            } else {
+                x = 3 * x + 1;
+            }
+        }
+        verified++;
+    }
+    return verified;
+}
+""")
+
+
+def _reference_collatz(count):
+    verified = 0
+    for n in range(1, count + 1):
+        x = n
+        while x != 1:
+            x = x // 2 if x % 2 == 0 else 3 * x + 1
+        verified += 1
+    return verified
+
+
+def build_collatz(count=2000, memoize=False):
+    """Build the Collatz workload testing integers 1..count.
+
+    ``memoize=True`` configures the recognizer for the single-core
+    generalized-memoization experiment: fine superstep granularity inside
+    the chaotic inner loop rather than coarse outer-loop supersteps.
+    """
+    source = _SOURCE.substitute(count=count)
+    program = compile_source(source, name="collatz")
+    verified = _reference_collatz(count)
+
+    if memoize:
+        config = EngineConfig(
+            recognizer_window=30_000,
+            min_superstep_instructions=60,
+            recognizer_validate_states=96,
+            memo_block=6,
+        )
+    else:
+        config = EngineConfig(
+            recognizer_window=60_000,
+            min_superstep_instructions=800,
+        )
+    return Workload(
+        "collatz", program, config=config,
+        params=dict(count=count, memoize=memoize),
+        expected=dict(verified=verified),
+        description="Collatz conjecture test for 1..%d" % count)

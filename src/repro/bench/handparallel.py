@@ -1,0 +1,31 @@
+"""Analytic hand-parallelized baseline for the Ising benchmark.
+
+Figure 4's "hand-parallelized scaling" line comes from a manual
+parallelization the paper describes: "first iterating over the list,
+partitioning it into up to 32 separate lists and then computing on each
+list in parallel." This module models that program's time analytically
+from the measured sequential run: a sequential partitioning pass over
+the list, perfectly parallel energy computation over the largest
+partition, and a final reduction over per-core minima.
+"""
+
+import math
+
+
+def hand_parallel_scaling(n_cores, total_instructions, nodes,
+                          partition_instructions_per_node=12,
+                          reduce_instructions_per_core=16):
+    """Predicted scaling of the hand-parallelized Ising at ``n_cores``.
+
+    The energy work (all of ``total_instructions`` minus the list walk)
+    divides over cores at the granularity of whole nodes; the walk that
+    splits the list and the min-reduction remain sequential.
+    """
+    if n_cores < 1:
+        raise ValueError("n_cores must be >= 1")
+    split_cost = nodes * partition_instructions_per_node
+    reduce_cost = n_cores * reduce_instructions_per_core
+    work = max(total_instructions - split_cost, 1)
+    largest_partition = math.ceil(nodes / n_cores) / nodes
+    parallel_time = split_cost + work * largest_partition + reduce_cost
+    return total_instructions / parallel_time

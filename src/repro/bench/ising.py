@@ -1,0 +1,129 @@
+"""The Ising kernel: pointer-based minimum-energy search (§5.1).
+
+"The program walks a linked list of spin configurations, looking for the
+element in the list producing the lowest energy state. Computing the
+energy for each configuration is computationally intensive." The list
+nodes are bump-allocated in traversal order — the property that makes
+next-pointer addresses a learnable affine sequence, which is how the
+paper says LASC parallelizes this kernel ("by predicting the addresses
+of linked list elements").
+
+Spin configurations are the program's input and are embedded as
+compile-time data, generated from a seeded RNG in the builder.
+"""
+
+import random
+from string import Template
+
+from repro.bench.workload import Workload
+from repro.core.config import EngineConfig
+from repro.minic import compile_source
+
+_SOURCE = Template("""
+// Ising kernel: minimum-energy search over a linked list of spin
+// configurations. NODES=$nodes SPINS=$spins
+struct node {
+    struct node *next;
+    int *config;
+};
+
+struct node pool[$nodes];
+int spin_data[$total_spins] = { $spin_values };
+struct node *head;
+int best_energy;
+int result_energy;
+int result_index;
+
+void build_list(void) {
+    int i;
+    for (i = 0; i < $nodes; i++) {
+        pool[i].config = &spin_data[i * $spins];
+        if (i + 1 < $nodes) {
+            pool[i].next = &pool[i + 1];
+        } else {
+            pool[i].next = 0;
+        }
+    }
+    head = &pool[0];
+}
+
+int coupling(int j, int k) {
+    return (j * 31 + k * 17) % 7 - 3;
+}
+
+int energy(struct node *p) {
+    int e = 0;
+    int j;
+    int k;
+    int *c = p->config;
+    for (j = 0; j < $spins; j++) {
+        for (k = j + 1; k < $spins; k++) {
+            e = e - c[j] * c[k] * coupling(j, k);
+        }
+    }
+    return e;
+}
+
+int main() {
+    struct node *p;
+    int index = 0;
+    build_list();
+    best_energy = 2147483647;
+    result_index = 0 - 1;
+    p = head;
+    while (p != 0) {
+        int e = energy(p);
+        if (e < best_energy) {
+            best_energy = e;
+            result_index = index;
+        }
+        p = p->next;
+        index = index + 1;
+    }
+    result_energy = best_energy;
+    return result_energy;
+}
+""")
+
+
+def _reference_energy(config, spins):
+    total = 0
+    for j in range(spins):
+        for k in range(j + 1, spins):
+            coupling = (j * 31 + k * 17) % 7 - 3
+            total -= config[j] * config[k] * coupling
+    return total
+
+
+def build_ising(nodes=512, spins=16, seed=12345):
+    """Build the Ising workload at the given list length."""
+    rng = random.Random(seed)
+    spin_values = [rng.choice((-1, 1)) for __ in range(nodes * spins)]
+    source = _SOURCE.substitute(
+        nodes=nodes,
+        spins=spins,
+        total_spins=nodes * spins,
+        spin_values=", ".join(str(v) for v in spin_values),
+    )
+    program = compile_source(source, name="ising")
+
+    energies = [
+        _reference_energy(spin_values[i * spins:(i + 1) * spins], spins)
+        for i in range(nodes)]
+    best = min(energies)
+    # The search window must span the list-construction phase plus
+    # enough walk supersteps to validate predictability; the adaptive
+    # recognizer widens it further if this estimate falls short.
+    superstep_estimate = spins * (spins - 1) // 2 * 75 + 250
+    window = nodes * 85 + 32 * superstep_estimate
+    config = EngineConfig(
+        recognizer_window=window,
+        min_superstep_instructions=max(400, spins * spins * 4),
+    )
+    return Workload(
+        "ising", program, config=config,
+        params=dict(nodes=nodes, spins=spins, seed=seed),
+        expected=dict(best_energy=best,
+                      best_index=energies.index(best)),
+        description="linked-list minimum-energy search, %d nodes x %d "
+                    "spins" % (nodes, spins))

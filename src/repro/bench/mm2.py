@@ -1,0 +1,126 @@
+"""Polybench/C 2mm: D = alpha*A*B*C + beta*D over integer matrices (§5.1).
+
+Two chained matrix multiplications: tmp = alpha*A*B, then
+D = tmp*C + beta*D. The inner dot product is factored into a helper
+function that both loop nests call, giving the whole kernel one repeated
+instruction-pointer hyperplane — the same structure the paper's
+recognizer latches onto for Ising ("a few instructions into the prologue
+of the energy function"). The matrices are the program's input and are
+embedded as compile-time data.
+"""
+
+import random
+from string import Template
+
+from repro.bench.workload import Workload
+from repro.core.config import EngineConfig
+from repro.minic import compile_source
+
+_SOURCE = Template("""
+// Polybench/C 2mm: D = alpha*A*B*C + beta*D, N=$n
+int A[$n2] = { $a_values };
+int B[$n2] = { $b_values };
+int C[$n2] = { $c_values };
+int D[$n2] = { $d_values };
+int tmp[$n2];
+int alpha = $alpha;
+int beta = $beta;
+int checksum;
+
+int dot(int *a, int *b) {
+    int acc = 0;
+    int k;
+    for (k = 0; k < $n; k++) {
+        acc += a[k] * b[k * $n];
+    }
+    return acc;
+}
+
+void mm2_kernel(void) {
+    int i;
+    int j;
+    for (i = 0; i < $n; i++) {
+        for (j = 0; j < $n; j++) {
+            tmp[i * $n + j] = alpha * dot(&A[i * $n], &B[j]);
+        }
+    }
+    for (i = 0; i < $n; i++) {
+        for (j = 0; j < $n; j++) {
+            D[i * $n + j] = beta * D[i * $n + j] + dot(&tmp[i * $n], &C[j]);
+        }
+    }
+}
+
+int main() {
+    int i;
+    int sum = 0;
+    mm2_kernel();
+    for (i = 0; i < $n2; i++) {
+        sum += D[i];
+    }
+    checksum = sum;
+    return checksum;
+}
+""")
+
+
+def _reference_2mm(a, b, c, d, alpha, beta, n):
+    mask = (1 << 32) - 1
+
+    def wrap(v):
+        v &= mask
+        return v - (1 << 32) if v >= (1 << 31) else v
+
+    tmp = [[0] * n for __ in range(n)]
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc = wrap(acc + wrap(a[i][k] * b[k][j]))
+            tmp[i][j] = wrap(alpha * acc)
+    out = [[0] * n for __ in range(n)]
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc = wrap(acc + wrap(tmp[i][k] * c[k][j]))
+            out[i][j] = wrap(wrap(beta * d[i][j]) + acc)
+    return out
+
+
+def build_mm2(n=14, alpha=3, beta=2, seed=777):
+    """Build the 2mm workload over n x n matrices."""
+    rng = random.Random(seed)
+
+    def matrix():
+        return [[rng.randint(-9, 9) for __ in range(n)] for __ in range(n)]
+
+    a, b, c, d = matrix(), matrix(), matrix(), matrix()
+
+    def flat(m):
+        return ", ".join(str(v) for row in m for v in row)
+
+    source = _SOURCE.substitute(
+        n=n, n2=n * n, alpha=alpha, beta=beta,
+        a_values=flat(a), b_values=flat(b), c_values=flat(c),
+        d_values=flat(d))
+    program = compile_source(source, name="2mm")
+
+    result = _reference_2mm(a, b, c, d, alpha, beta, n)
+    mask = (1 << 32) - 1
+    checksum = 0
+    for row in result:
+        for v in row:
+            checksum = (checksum + v) & mask
+    if checksum >= 1 << 31:
+        checksum -= 1 << 32
+
+    config = EngineConfig(
+        recognizer_window=60_000,
+        min_superstep_instructions=max(300, n * 25),
+    )
+    return Workload(
+        "2mm", program, config=config,
+        params=dict(n=n, alpha=alpha, beta=beta, seed=seed),
+        expected=dict(checksum=checksum, d_matrix=result),
+        description="Polybench 2mm, %dx%d integer matrices" % (n, n))

@@ -1,0 +1,28 @@
+"""Workload: a compiled benchmark plus its engine configuration."""
+
+from repro.core.config import EngineConfig
+
+#: The paper's measured superstep, in simulated seconds: an average jump
+#: of ~1.2e7 instructions at the dependency-tracking rate of 2.3 MIPS.
+PAPER_SUPERSTEP_SECONDS = 1.2e7 / 2.3e6
+
+
+class Workload:
+    """A benchmark program bundled with how to run it.
+
+    ``params`` records the scaled-down sizes; ``expected`` optionally
+    carries ground-truth values the tests verify program correctness
+    against (independent of any ASC machinery).
+    """
+
+    def __init__(self, name, program, config=None, params=None,
+                 expected=None, description=""):
+        self.name = name
+        self.program = program
+        self.config = config or EngineConfig()
+        self.params = dict(params or {})
+        self.expected = dict(expected or {})
+        self.description = description
+
+    def __repr__(self):
+        return "Workload(%r, params=%r)" % (self.name, self.params)

@@ -1,0 +1,188 @@
+"""Command-line interface: compile, run, inspect, and scale programs.
+
+Usage (also available as ``python -m repro``)::
+
+    repro compile kernel.c -o kernel.json --disasm
+    repro run kernel.c --global result --reg eax
+    repro disasm kernel.c
+    repro scale kernel.c --cores 4,16,32 --platform server32
+    repro memoize kernel.c
+
+Input files ending in ``.c`` are compiled as Mini-C, ``.s``/``.asm`` are
+assembled, and ``.json`` loads a previously saved program image.
+"""
+
+import argparse
+import sys
+
+from repro.asm import assemble, disassemble_program
+from repro.bench.workload import Workload
+from repro.core.config import EngineConfig
+from repro.isa.registers import NAME_TO_REG
+from repro.loader.image import Program
+from repro.minic import compile_source
+
+
+def load_program(path, name=None):
+    """Compile/assemble/load ``path`` by extension."""
+    if path.endswith(".json"):
+        return Program.load(path)
+    with open(path) as handle:
+        source = handle.read()
+    program_name = name or path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    if path.endswith((".s", ".asm")):
+        return assemble(source, name=program_name)
+    return compile_source(source, name=program_name)
+
+
+def _engine_config(args):
+    overrides = {}
+    if getattr(args, "window", None):
+        overrides["recognizer_window"] = args.window
+    if getattr(args, "min_superstep", None):
+        overrides["min_superstep_instructions"] = args.min_superstep
+    if getattr(args, "hints", False):
+        overrides["use_compiler_hints"] = True
+    return EngineConfig(**overrides)
+
+
+def cmd_compile(args):
+    program = load_program(args.file, name=args.name)
+    print(repr(program))
+    if program.hints:
+        print("hints: %r" % (program.hints,))
+    if args.output:
+        program.save(args.output)
+        print("saved image to %s" % args.output)
+    if args.disasm:
+        print(disassemble_program(program))
+    return 0
+
+
+def cmd_disasm(args):
+    program = load_program(args.file)
+    print(disassemble_program(program))
+    return 0
+
+
+def cmd_run(args):
+    program = load_program(args.file)
+    machine = program.make_machine()
+    result = machine.run(max_instructions=args.max_instructions)
+    print("%s after %d instructions (eip=0x%x)"
+          % (result.reason, result.instructions, result.eip))
+    for reg_name in args.reg or ():
+        reg = NAME_TO_REG.get(reg_name.lower())
+        if reg is None:
+            print("unknown register %r" % reg_name, file=sys.stderr)
+            return 2
+        print("%s = %d" % (reg_name, machine.state.get_reg_signed(reg)))
+    for symbol in args.globals or ():
+        for candidate in (symbol, "g_" + symbol):
+            if candidate in program.symbols:
+                value = machine.state.read_i32(program.symbol(candidate))
+                print("%s = %d" % (symbol, value))
+                break
+        else:
+            print("unknown global %r" % symbol, file=sys.stderr)
+            return 2
+    return 0 if machine.halted else 1
+
+
+def cmd_scale(args):
+    from repro.analysis import ExperimentContext, scaling_sweep
+    from repro.analysis.report import format_series
+    from repro.analysis.scaling import ideal_series
+
+    program = load_program(args.file)
+    workload = Workload(program.name, program, config=_engine_config(args))
+    context = ExperimentContext(workload)
+    recognized = context.recognized
+    print("recognized IP 0x%x (superstep ~%.0f instructions, stride %d)"
+          % (recognized.ip, recognized.superstep_instructions,
+             recognized.stride))
+    cores = [int(c) for c in args.cores.split(",")]
+    series = {"ideal": ideal_series(cores)}
+    if args.oracle:
+        series["lasc+oracle"] = scaling_sweep(
+            context, cores, platform=args.platform, oracle=True)
+    series["lasc"] = scaling_sweep(context, cores, platform=args.platform,
+                                   collect_prediction_stats=False)
+    print(format_series(series, title="%s on %s" % (program.name,
+                                                    args.platform)))
+    return 0
+
+
+def cmd_memoize(args):
+    from repro.analysis import ExperimentContext, memoization_curve
+
+    program = load_program(args.file)
+    config = _engine_config(args).replace(
+        min_superstep_instructions=args.min_superstep or 60,
+        recognizer_validate_states=96)
+    workload = Workload(program.name, program, config=config)
+    context = ExperimentContext(workload, memoization=True)
+    result = memoization_curve(context)
+    for point in result.timeline[::max(1, len(result.timeline) // 16)]:
+        print("%12d  %6.3f" % (point.instructions, point.scaling))
+    print("final scaling %.3fx (%d hits / %d queries)"
+          % (result.scaling, result.stats.hits, result.stats.queries))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ASC (ASPLOS 2014) reproduction: compile, run, and "
+                    "automatically scale sequential programs.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile Mini-C / assemble SVM32")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", help="save the program image (JSON)")
+    p.add_argument("--name")
+    p.add_argument("--disasm", action="store_true")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("disasm", help="disassemble a program")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("run", help="execute a program to halt")
+    p.add_argument("file")
+    p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p.add_argument("--reg", action="append",
+                   help="print a register after the run (repeatable)")
+    p.add_argument("--global", dest="globals", action="append",
+                   help="print a global variable after the run")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("scale", help="ASC scaling sweep")
+    p.add_argument("file")
+    p.add_argument("--cores", default="4,16,32")
+    p.add_argument("--platform", default="server32",
+                   choices=["server32", "bluegene_p"])
+    p.add_argument("--oracle", action="store_true")
+    p.add_argument("--window", type=int, help="recognizer window")
+    p.add_argument("--min-superstep", type=int, dest="min_superstep")
+    p.add_argument("--hints", action="store_true",
+                   help="restrict recognition to compiler hints")
+    p.set_defaults(func=cmd_scale)
+
+    p = sub.add_parser("memoize",
+                       help="single-core generalized memoization run")
+    p.add_argument("file")
+    p.add_argument("--window", type=int)
+    p.add_argument("--min-superstep", type=int, dest="min_superstep")
+    p.add_argument("--hints", action="store_true")
+    p.set_defaults(func=cmd_memoize)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

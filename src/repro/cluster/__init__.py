@@ -1,0 +1,23 @@
+"""Simulated hardware platforms and their communication cost models.
+
+The paper evaluates on three testbeds: a 32-core x86 server, an IBM Blue
+Gene/P (up to 16384 cores, MPI with ASIC-accelerated reductions), and a
+single-core laptop. This repo has none of them, so the engine charges all
+work — instruction execution, recursive prediction, cache queries,
+reductions, point-to-point responses — against a :class:`CostModel` in
+*simulated seconds*, decoupling experiment shape from Python's own speed.
+Scaling numbers are ratios of simulated times, exactly as the paper's
+numbers are ratios of measured wall-clock times on the same simulator.
+"""
+
+from repro.cluster.costmodel import CostModel, ZERO_OVERHEAD
+from repro.cluster.topology import Platform, server32, bluegene_p, laptop1
+
+__all__ = [
+    "CostModel",
+    "ZERO_OVERHEAD",
+    "Platform",
+    "server32",
+    "bluegene_p",
+    "laptop1",
+]

@@ -1,0 +1,51 @@
+"""LASC: the learning-based implementation of the ASC architecture.
+
+This package is the paper's primary contribution: the recognizer that
+finds predictable instruction-pointer hyperplanes, the online predictor
+ensemble, the regret-minimizing allocator, the dependency-keyed
+trajectory cache, and the engines (sequential, parallel-speculative, and
+single-core memoizing) that tie them together over the TBFS substrate.
+"""
+
+from repro.core.config import EngineConfig
+from repro.core.excitation import ExcitationTracker, ObservationView
+from repro.core.recognizer import Recognizer, RecognizedIP
+from repro.core.trajectory_cache import CacheEntry, TrajectoryCache
+from repro.core.engine import (
+    SequentialResult,
+    ParallelResult,
+    run_sequential,
+    ParallelEngine,
+    MemoizingEngine,
+)
+from repro.core.predictors import (
+    Predictor,
+    MeanPredictor,
+    WeathermanPredictor,
+    LogisticPredictor,
+    LinearRegressionPredictor,
+    PredictorEnsemble,
+    default_ensemble,
+)
+
+__all__ = [
+    "EngineConfig",
+    "ExcitationTracker",
+    "ObservationView",
+    "Recognizer",
+    "RecognizedIP",
+    "CacheEntry",
+    "TrajectoryCache",
+    "SequentialResult",
+    "ParallelResult",
+    "run_sequential",
+    "ParallelEngine",
+    "MemoizingEngine",
+    "Predictor",
+    "MeanPredictor",
+    "WeathermanPredictor",
+    "LogisticPredictor",
+    "LinearRegressionPredictor",
+    "PredictorEnsemble",
+    "default_ensemble",
+]

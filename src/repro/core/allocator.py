@@ -1,0 +1,240 @@
+"""The allocator: rolling predictions forward and scheduling speculation
+(§4.5).
+
+After every observed RIP state, the allocator maintains a *rollout
+chain*: the ensemble's prediction for the next RIP state, the prediction
+from that prediction, and so on k supersteps into the future (§4.5.2's
+recursive generation). Each step carries Eq. 2's per-hop confidence;
+cumulative products along the chain give each speculative target its
+probability of use, and the allocator dispatches workers in decreasing
+expected utility (jump length times probability of use).
+
+When a new observation matches the chain's first element — the common
+case, since predictions are usually right — the chain simply shifts and
+extends by one, so steady-state rollout maintenance is O(1) ensemble
+predictions per superstep. A misprediction invalidates the chain and it
+is rebuilt from the corrected state, exactly the stall the real system
+would suffer.
+"""
+
+import hashlib
+
+import numpy as np
+
+
+class RelevanceMask:
+    """Which target-word bytes matter for chain reconciliation.
+
+    Rollout chains must survive the observation that dead temporaries —
+    bytes the next superstep overwrites before reading — never match
+    predictions. The trajectory cache already ignores them (entries are
+    keyed on read-dependencies only); this mask teaches the allocator the
+    same leniency: two projected states are equivalent when they agree on
+    every byte that any observed superstep has *read*.
+
+    Soundness: treating distinct states as equivalent can only suppress a
+    dispatch or keep a chain alive; every cache entry remains an exact
+    fact about the transition function, so a wrong equivalence surfaces
+    as a cache miss, never as wrong execution. The per-word/word-local
+    structure of the predictors means relevant-bit predictions depend
+    only on relevant words, so a chain tail stays valid under the mask.
+    """
+
+    def __init__(self, tracker):
+        self.tracker = tracker
+        self._positions = None  # indices into the target-word array
+        self._known = set()
+        self._version = 0
+        self._word_pos = {}
+        self._word_pos_version = -1
+
+    @property
+    def seeded(self):
+        return self._positions is not None
+
+    def _refresh_word_pos(self):
+        if self._word_pos_version != self.tracker.version:
+            self._word_pos = {int(w): i for i, w in
+                              enumerate(self.tracker.target_words.tolist())}
+            self._word_pos_version = self.tracker.version
+
+    def update_from_entry(self, entry):
+        """Fold a cache entry's read-dependency words into the mask.
+
+        Word granularity: any read byte marks its whole word relevant,
+        matching the word-local structure of every predictor (so a
+        relevant word's prediction provably depends only on relevant
+        words).
+        """
+        self._refresh_word_pos()
+        added = False
+        for idx in entry.start_indices.tolist():
+            pos = self._word_pos.get(idx & ~3)
+            if pos is not None and pos not in self._known:
+                self._known.add(pos)
+                added = True
+        if added:
+            self._positions = np.array(sorted(self._known), dtype=np.int64)
+            self._version += 1
+
+    def _select(self, word_values):
+        data = np.asarray(word_values, dtype="<u4")
+        positions = self._positions[self._positions < len(data)]
+        return data[positions]
+
+    def equivalent(self, words_a, words_b):
+        """Do two projections agree on all relevant bytes?"""
+        if self._positions is None:
+            a = np.asarray(words_a, dtype="<u4")
+            b = np.asarray(words_b, dtype="<u4")
+            return bool(len(a) == len(b) and np.array_equal(a, b))
+        return bool(np.array_equal(self._select(words_a),
+                                   self._select(words_b)))
+
+    def key(self, word_values):
+        """Digest of the relevant bytes (dispatch dedup key)."""
+        h = hashlib.blake2b(digest_size=12)
+        if self._positions is None:
+            h.update(np.asarray(word_values, dtype="<u4").tobytes())
+        else:
+            h.update(self._select(word_values).tobytes())
+        h.update(bytes([self._version & 0xFF, self.tracker.version & 0xFF]))
+        return h.digest()
+
+    def key_for(self, step):
+        """Per-step cached :meth:`key` (dispatch scans chains repeatedly)."""
+        version = (self._version, self.tracker.version)
+        cached = step.cover_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        key = self.key(step.word_values)
+        step.cover_cache = (version, key)
+        return key
+
+
+class RolloutStep:
+    """One predicted future RIP state."""
+
+    __slots__ = ("word_values", "digest", "step_confidence", "cover_cache")
+
+    def __init__(self, word_values, digest, step_confidence):
+        self.word_values = word_values  # np.uint32 target-word values
+        self.digest = digest
+        self.step_confidence = step_confidence  # this hop's Eq. 2 confidence
+        self.cover_cache = None  # (mask version, cover key)
+
+    def __repr__(self):
+        return "RolloutStep(conf=%.3f, digest=%s)" % (
+            self.step_confidence, self.digest.hex()[:8])
+
+
+def _confidence(probs):
+    """Collapse per-bit probabilities into one per-step confidence.
+
+    Eq. 2's literal product underflows to zero over thousands of bits;
+    the geometric mean preserves the ordering the allocator needs while
+    staying in a numerically meaningful range.
+    """
+    if len(probs) == 0:
+        return 1.0
+    return float(np.exp(np.mean(np.log(np.maximum(probs, 1e-9)))))
+
+
+class Allocator:
+    """Maintains the rollout chain for one recognized IP."""
+
+    def __init__(self, ensemble, tracker, max_rollout, mask=None):
+        self.ensemble = ensemble
+        self.tracker = tracker
+        self.max_rollout = max_rollout
+        self.mask = mask or RelevanceMask(tracker)
+        self.chain = []
+        self.rebuilds = 0
+        self.shifts = 0
+
+    def advance(self, view):
+        """Reconcile the chain with a newly observed RIP state.
+
+        The comparison is up to dependency relevance: a prediction that
+        got every byte the next superstep reads right keeps the chain
+        alive even if dead temporaries came out differently.
+        """
+        if self.chain and len(self.chain[0].word_values) \
+                != len(view.word_values):
+            self._pad_chain(view)
+        if self.chain and self.mask.equivalent(self.chain[0].word_values,
+                                               view.word_values):
+            self.chain.pop(0)
+            self.shifts += 1
+        elif self.chain:
+            self.chain = []
+            self.rebuilds += 1
+        self._extend(view)
+
+    def _pad_chain(self, view):
+        """Extend chain steps to a grown target set.
+
+        Newly adopted target words were, until now, implicitly predicted
+        by copying the current state (the excitation tracker materializes
+        non-target bytes that way), so padding each step with the
+        current observed values preserves exactly the predictions the
+        chain already embodied.
+        """
+        n_words = len(view.word_values)
+        for step in self.chain:
+            have = len(step.word_values)
+            if have < n_words:
+                step.word_values = np.concatenate(
+                    [step.word_values, view.word_values[have:]])
+                step.digest = self.tracker.words_digest(step.word_values)
+                step.cover_cache = None
+
+    def _extend(self, anchor_view):
+        """Grow the chain to ``max_rollout`` predictions."""
+        anchor_digest = anchor_view.digest()
+        while len(self.chain) < self.max_rollout:
+            if self.chain:
+                source = self.tracker.view_from_words(
+                    self.chain[-1].word_values)
+            else:
+                source = anchor_view
+            bits, probs = self.ensemble.predict_from(source)
+            predicted = self.tracker.view_from_bits(bits)
+            digest = predicted.digest()
+            # A fixed point (e.g. predicted halt) makes deeper rollout
+            # useless; stop extending.
+            if self.chain:
+                if digest == self.chain[-1].digest:
+                    break
+            elif digest == anchor_digest:
+                break
+            self.chain.append(RolloutStep(predicted.word_values, digest,
+                                          _confidence(probs)))
+
+    def probabilities(self):
+        """Cumulative probability of use for each chain step."""
+        probs = []
+        acc = 1.0
+        for step in self.chain:
+            acc *= step.step_confidence
+            probs.append(acc)
+        return probs
+
+    def dispatch_order(self, mean_jump, min_probability):
+        """Chain indices in decreasing expected utility.
+
+        Expected utility of speculating from chain step k is the jump
+        length it would save times the probability the main thread ever
+        uses it (§4.5.2). With a constant expected jump, utility ordering
+        reduces to probability ordering, which decreases along the chain
+        — but the explicit computation keeps the policy honest if jumps
+        ever differ.
+        """
+        scored = [(probability * mean_jump, i)
+                  for i, probability in enumerate(self.probabilities())
+                  if probability >= min_probability]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [i for __, i in scored]
+
+    def reset(self):
+        self.chain = []

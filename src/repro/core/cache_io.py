@@ -1,0 +1,101 @@
+"""Trajectory-cache persistence (§6).
+
+"We have only just begun exploring reusing the trajectory cache across
+different invocations of the same program as well as slightly modified
+versions of the program." This module makes cache entries durable: a
+compact binary format (no pickling — entries are untrusted data, and the
+format is a straightforward struct-of-arrays) plus helpers to save a
+cache after one run and preload it into the next.
+
+A preloaded entry is sound under the same guarantee as a live one: it is
+an exact fact about the transition function, so it either matches a
+future state on its dependency bytes (and fast-forwards correctly) or
+sits idle. Against a *different* input or program version, entries whose
+dependencies changed simply never match.
+"""
+
+import struct
+
+import numpy as np
+
+from repro.core.trajectory_cache import CacheEntry, TrajectoryCache
+from repro.errors import EngineError
+
+_MAGIC = b"ASCC"
+_VERSION = 1
+
+_HEADER = struct.Struct("<4sHI")
+_ENTRY = struct.Struct("<IQIBII")
+
+
+def serialize_cache(cache):
+    """Encode every entry of a :class:`TrajectoryCache` as bytes."""
+    entries = list(cache.entries())
+    out = bytearray()
+    out += _HEADER.pack(_MAGIC, _VERSION, len(entries))
+    for entry in entries:
+        out += _ENTRY.pack(entry.rip, entry.length, entry.occurrences,
+                           1 if entry.halted else 0,
+                           len(entry.start_indices),
+                           len(entry.end_indices))
+        out += np.asarray(entry.start_indices, dtype="<i8").tobytes()
+        out += np.asarray(entry.start_values, dtype=np.uint8).tobytes()
+        out += np.asarray(entry.end_indices, dtype="<i8").tobytes()
+        out += np.asarray(entry.end_values, dtype=np.uint8).tobytes()
+    return bytes(out)
+
+
+def deserialize_cache(data, capacity_bytes=None):
+    """Rebuild a :class:`TrajectoryCache` from :func:`serialize_cache`
+    output. All entries load with ``ready_time=0`` (they exist before
+    the new run starts)."""
+    if len(data) < _HEADER.size:
+        raise EngineError("cache blob too short for header")
+    magic, version, count = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise EngineError("not a trajectory-cache blob (bad magic)")
+    if version != _VERSION:
+        raise EngineError("unsupported cache format version %d" % version)
+    cache = TrajectoryCache(capacity_bytes=capacity_bytes)
+    pos = _HEADER.size
+    for __ in range(count):
+        if pos + _ENTRY.size > len(data):
+            raise EngineError("truncated cache blob (entry header)")
+        rip, length, occurrences, halted, n_start, n_end = \
+            _ENTRY.unpack_from(data, pos)
+        pos += _ENTRY.size
+        need = 9 * n_start + 9 * n_end
+        if pos + need > len(data):
+            raise EngineError("truncated cache blob (entry arrays)")
+        start_indices = np.frombuffer(data, dtype="<i8", count=n_start,
+                                      offset=pos).astype(np.int64)
+        pos += 8 * n_start
+        start_values = np.frombuffer(data, dtype=np.uint8, count=n_start,
+                                     offset=pos).copy()
+        pos += n_start
+        end_indices = np.frombuffer(data, dtype="<i8", count=n_end,
+                                    offset=pos).astype(np.int64)
+        pos += 8 * n_end
+        end_values = np.frombuffer(data, dtype=np.uint8, count=n_end,
+                                   offset=pos).copy()
+        pos += n_end
+        cache.insert(CacheEntry(rip, start_indices, start_values,
+                                end_indices, end_values, length,
+                                occurrences=occurrences, ready_time=0.0,
+                                halted=bool(halted)))
+    if pos != len(data):
+        raise EngineError("trailing bytes in cache blob")
+    return cache
+
+
+def save_cache(cache, path):
+    """Persist a cache to ``path``."""
+    with open(path, "wb") as handle:
+        handle.write(serialize_cache(cache))
+
+
+def load_cache(path, capacity_bytes=None):
+    """Load a cache previously written by :func:`save_cache`."""
+    with open(path, "rb") as handle:
+        return deserialize_cache(handle.read(),
+                                 capacity_bytes=capacity_bytes)

@@ -1,0 +1,553 @@
+"""The ASC engines: sequential reference, parallel-speculative, and
+single-core memoizing execution.
+
+:class:`ParallelEngine` implements the paper's Figure 1 loop on top of a
+simulated-time cluster. One main thread executes the program on the
+TBFS; at every superstep boundary (each ``stride``-th crossing of the
+recognized IP) it sends its state to the learners, the allocator rolls
+predictions out and dispatches idle workers to uncovered future states,
+and the main thread queries the distributed trajectory cache —
+fast-forwarding over any superstep a speculative worker has already
+executed correctly.
+
+Simulated time vs. real work: every speculative execution really runs on
+the Python VM (producing real dependency vectors and cache entries), but
+*when* its entry becomes visible is charged by the platform's cost model
+(rollout time linear in rank, instruction time at the measured MIPS,
+query/reduce/response latencies). Byte-identical speculations are
+executed once and reused — an accounting identity, since the transition
+function is deterministic — which keeps an N-core simulation's Python
+cost near the sequential cost instead of N times it.
+"""
+
+import heapq
+
+from repro.cluster.topology import Platform, laptop1
+from repro.core.allocator import Allocator, RelevanceMask
+from repro.core.config import EngineConfig
+from repro.core.excitation import ExcitationTracker
+from repro.core.oracle import OracleAllocator, TrajectoryRecord
+from repro.core.predictors.ensemble import default_ensemble
+from repro.core.recognizer import Recognizer
+from repro.core.speculation import run_speculation
+from repro.core.stats import PredictionStats, RunStats
+from repro.core.trajectory_cache import CacheEntry, TrajectoryCache
+from repro.errors import EngineError
+from repro.machine.depvec import DepVector
+from repro.machine.executor import STOP_BREAKPOINT
+
+import numpy as np
+
+
+class SequentialResult:
+    """A plain uninstrumented run (the scaling baseline)."""
+
+    __slots__ = ("instructions", "seconds", "halted")
+
+    def __init__(self, instructions, seconds, halted):
+        self.instructions = instructions
+        self.seconds = seconds
+        self.halted = halted
+
+    def __repr__(self):
+        return "SequentialResult(instructions=%d, seconds=%.4f)" % (
+            self.instructions, self.seconds)
+
+
+def run_sequential(program, cost_model=None, max_instructions=500_000_000):
+    """Run the program to halt on one core, no tracking, no caching."""
+    from repro.cluster.costmodel import CostModel
+    cm = cost_model or CostModel()
+    machine = program.make_machine()
+    result = machine.run(max_instructions=max_instructions)
+    if not machine.halted:
+        raise EngineError("program did not halt within %d instructions"
+                          % max_instructions)
+    seconds = cm.exec_seconds(result.instructions, dep_tracking=False)
+    return SequentialResult(result.instructions, seconds, True)
+
+
+class ParallelResult:
+    """Everything measured by one parallel engine run."""
+
+    def __init__(self, program_name, n_cores, oracle, recognized,
+                 sequential_seconds, makespan_seconds, total_instructions,
+                 stats, prediction_stats, cache, allocator_shifts,
+                 allocator_rebuilds):
+        self.program_name = program_name
+        self.n_cores = n_cores
+        self.oracle = oracle
+        self.recognized = recognized
+        self.sequential_seconds = sequential_seconds
+        self.makespan_seconds = makespan_seconds
+        self.total_instructions = total_instructions
+        self.stats = stats
+        self.prediction_stats = prediction_stats
+        self.cache = cache
+        self.allocator_shifts = allocator_shifts
+        self.allocator_rebuilds = allocator_rebuilds
+
+    @property
+    def scaling(self):
+        """The paper's metric: sequential time over parallel time."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.sequential_seconds / self.makespan_seconds
+
+    def __repr__(self):
+        return ("ParallelResult(%s, cores=%d, scaling=%.2f, hits=%d, "
+                "misses=%d)" % (self.program_name, self.n_cores,
+                                self.scaling, self.stats.hits,
+                                self.stats.misses))
+
+
+class ParallelEngine:
+    """One ASC run of a program on a simulated platform.
+
+    ``recognized``, ``record``, and ``spec_memo`` may be shared across
+    runs of the same program (e.g. a core-count sweep): recognition is
+    deterministic, the record is ground truth, and the memo only caches
+    deterministic speculative executions keyed by predicted-state digest.
+    """
+
+    def __init__(self, program, platform, config=None, oracle=False,
+                 recognized=None, record=None, spec_memo=None,
+                 collect_prediction_stats=None, initial_cache=None):
+        if not isinstance(platform, Platform):
+            raise EngineError("platform must be a Platform")
+        self.program = program
+        self.platform = platform
+        self.config = config or EngineConfig()
+        self.oracle = oracle
+        self.recognized = recognized
+        self.record = record
+        self.spec_memo = spec_memo if spec_memo is not None else {}
+        # Entries carried over from a previous invocation (§6's cache
+        # reuse); preloaded with ready_time 0.
+        self.initial_cache = initial_cache
+        if collect_prediction_stats is None:
+            collect_prediction_stats = not oracle
+        self.collect_prediction_stats = collect_prediction_stats
+
+    # -- helpers -------------------------------------------------------------
+
+    def _prepare(self):
+        config = self.config
+        if self.recognized is None:
+            self.recognized = Recognizer(config).find(self.program)
+        if self.record is None:
+            self.record = TrajectoryRecord(self.program, self.recognized,
+                                           config)
+        if not self.record.halted:
+            raise EngineError("reference run did not halt; cannot evaluate")
+
+    def _query_bits(self, snapshot_arr, last_query_arr):
+        """Size of the delta-compressed query message (§4.2).
+
+        Modeled as a fixed header plus ~32 bits (offset varint + value)
+        per changed byte since the previous query — the cost structure of
+        the Myers-delta messages the paper measures in Table 1; the exact
+        codec's sizes are computed offline by the Table 1 analysis.
+        """
+        if last_query_arr is None:
+            return 8 * len(snapshot_arr)  # first query ships the full state
+        changed = int(np.count_nonzero(snapshot_arr != last_query_arr))
+        return 64 + 32 * changed
+
+    # -- the run ------------------------------------------------------------------
+
+    def run(self):
+        self._prepare()
+        program = self.program
+        config = self.config
+        platform = self.platform
+        cm = platform.cost_model
+        record = self.record
+
+        n_workers = max(0, platform.n_cores - 1)
+        max_rollout = config.max_rollout or max(1, n_workers)
+        max_rollout = min(max_rollout, record.n_boundaries + 2)
+
+        cache = TrajectoryCache(capacity_bytes=config.cache_capacity_bytes
+                                or platform.cache_capacity_bytes)
+        if self.initial_cache is not None:
+            for entry in self.initial_cache.entries():
+                cache.insert(entry.with_ready_time(0.0))
+        stats = RunStats()
+        pstats = None
+
+        main = program.make_machine()
+        context = main.context  # shared decode cache with speculation
+        total = record.total_instructions
+        sequential_seconds = cm.exec_seconds(total, dep_tracking=False)
+        guard = total * 2 + 100_000
+
+        worker_heap = [0.0] * n_workers
+        heapq.heapify(worker_heap)
+        last_query_arr = None
+        T = 0.0
+
+        # -- per-phase state (reset when a RIP dies, §4.4.1's reset) -----
+        phases = record.phases
+        phase_index = -1
+        tracker = mask = ensemble = allocator = None
+        rip = stride = spec_budget = None
+        break_ips = frozenset()
+        converge_t = 0.0
+        covered = set()
+        recognized_phase = None
+        oracle_allocator = (OracleAllocator(record, max_rollout)
+                            if self.oracle else None)
+
+        def enter_phase(index, now):
+            nonlocal tracker, mask, ensemble, allocator, rip, stride
+            nonlocal spec_budget, break_ips, converge_t, covered, pstats
+            nonlocal recognized_phase
+            recognized_phase = phases[index]
+            rip = recognized_phase.ip
+            stride = recognized_phase.stride
+            break_ips = frozenset((rip,))
+            spec_budget = recognized_phase.speculation_budget(
+                config.speculation_budget_factor)
+            tracker = ExcitationTracker(program.layout, config)
+            mask = RelevanceMask(tracker)
+            covered = set()
+            if self.oracle:
+                ensemble = None
+                allocator = oracle_allocator
+            else:
+                ensemble = default_ensemble(config)
+                allocator = Allocator(ensemble, tracker, max_rollout,
+                                      mask=mask)
+                if recognized_phase.training_states:
+                    # Warm start: the recognizer's search already observed
+                    # these states and trained on them (its time is what
+                    # the converge charge accounts for); the engine
+                    # continues from that model instead of relearning.
+                    for trained in recognized_phase.training_states:
+                        view = tracker.observe(trained)
+                        if view is not None:
+                            ensemble.observe(view)
+                    ensemble.flush_pending()
+                    tracker.reset_continuity()
+                if pstats is None and self.collect_prediction_stats:
+                    pstats = PredictionStats(ensemble.expert_names)
+            if config.converge_supersteps_charge is not None:
+                converge = (config.converge_supersteps_charge
+                            * recognized_phase.superstep_instructions)
+            else:
+                converge = recognized_phase.converge_instructions
+            converge_t = now + cm.exec_seconds(converge,
+                                               dep_tracking=True)
+
+        enter_phase(0, 0.0)
+        phase_index = 0
+
+        while not main.halted:
+            # Execute up to one superstep (stride RIP crossings); a
+            # drought (no crossing within the limit) means this phase's
+            # RIP died and the next recognized phase takes over.
+            executed = 0
+            drought = False
+            for __ in range(stride):
+                result = main.run(
+                    max_instructions=recognized_phase.drought_limit(),
+                    break_ips=break_ips)
+                executed += result.instructions
+                if result.reason != STOP_BREAKPOINT:
+                    drought = not main.halted
+                    break
+            T += cm.exec_seconds(executed, dep_tracking=False)
+            stats.instructions_executed += executed
+            if main.halted:
+                break
+            if drought:
+                phase_index += 1
+                if phase_index < len(phases):
+                    stats.phase_transitions += 1
+                    enter_phase(phase_index, T)
+                    continue
+                # No further recognized structure: run plainly to halt.
+                tail = main.run(max_instructions=guard)
+                T += cm.exec_seconds(tail.instructions, dep_tracking=False)
+                stats.instructions_executed += tail.instructions
+                break
+            progress = (stats.instructions_executed
+                        + stats.instructions_fast_forwarded)
+            if progress > guard:
+                raise EngineError("engine exceeded instruction guard; "
+                                  "likely divergence from reference run")
+
+            # Boundary processing; fast-forwards chain within this loop.
+            while True:
+                stats.supersteps += 1
+                buf = main.state.buf
+                snapshot = bytes(buf)
+                view = tracker.observe(snapshot)
+                if view is not None:
+                    if ensemble is not None:
+                        outcome = ensemble.observe(view)
+                        if pstats is not None:
+                            pstats.record(outcome)
+                    if not mask.seeded and not self.oracle:
+                        # Probe one real superstep to learn which words
+                        # the computation actually reads (the recognizer
+                        # already measured this during validation; the
+                        # probe is its engine-side counterpart).
+                        probe = run_speculation(context, snapshot, rip,
+                                                stride, spec_budget)
+                        if probe.entry is not None:
+                            mask.update_from_entry(probe.entry)
+                    allocator.advance(view)
+                    if T >= converge_t and n_workers > 0:
+                        self._dispatch(
+                            T, allocator, tracker, cache, stats, cm,
+                            worker_heap, covered, mask, snapshot, context,
+                            rip, stride, spec_budget, recognized_phase,
+                            config)
+                if T < converge_t:
+                    break  # recognizer not converged: no cache use yet
+                snapshot_arr = np.frombuffer(snapshot, dtype=np.uint8)
+                qbits = self._query_bits(snapshot_arr, last_query_arr)
+                last_query_arr = snapshot_arr
+                stats.queries += 1
+                stats.query_bits_total += qbits
+                T += cm.query_seconds(platform.n_cores, qbits)
+                entry, late = cache.lookup_classified(rip, buf, now=T)
+                if entry is None:
+                    stats.misses += 1
+                    if late:
+                        stats.misses_late += 1
+                    else:
+                        stats.misses_nomatch += 1
+                    break
+                stats.hits += 1
+                T += cm.response_seconds(entry.end_bits) + cm.apply_seconds()
+                entry.apply(buf)
+                stats.instructions_fast_forwarded += entry.length
+                progress = (stats.instructions_executed
+                            + stats.instructions_fast_forwarded)
+                if progress > guard:
+                    raise EngineError("fast-forward exceeded instruction "
+                                      "guard; cyclic cache entry?")
+                if main.halted:
+                    break
+
+        makespan = T if T > 0 else 1e-12
+        progress = (stats.instructions_executed
+                    + stats.instructions_fast_forwarded)
+        if main.halted and progress != total:
+            raise EngineError(
+                "executed+fast-forwarded=%d does not equal reference "
+                "total=%d; cache entries are inconsistent"
+                % (progress, total))
+        return ParallelResult(
+            program.name, platform.n_cores, self.oracle, self.recognized,
+            sequential_seconds, makespan, total, stats, pstats, cache,
+            getattr(allocator, "shifts", 0),
+            getattr(allocator, "rebuilds", 0))
+
+    def _dispatch(self, T, allocator, tracker, cache, stats, cm,
+                  worker_heap, covered, mask, snapshot, context, rip,
+                  stride, spec_budget, recognized, config):
+        """Assign idle workers to uncovered rollout targets.
+
+        ``covered`` is keyed up to dependency relevance (don't speculate
+        twice on targets that differ only in dead bytes); the execution
+        memo is keyed on the exact materialized projection, which fully
+        determines the deterministic speculative execution.
+        """
+        mean_jump = recognized.mean_gap * stride
+        order = allocator.dispatch_order(mean_jump,
+                                         config.min_dispatch_probability)
+        chain = allocator.chain
+        # Workers accept one queued assignment while still busy (the
+        # allocator hands out the next target as soon as a worker will
+        # free up within roughly a superstep), so production never stalls
+        # on the boundary schedule.
+        queue_horizon = T + cm.exec_seconds(recognized.superstep_instructions,
+                                            dep_tracking=True)
+        for idx in order:
+            if not worker_heap or worker_heap[0] > queue_horizon:
+                break  # every worker busy beyond the queueing horizon
+            step = chain[idx]
+            cover_key = mask.key_for(step)
+            if cover_key in covered:
+                continue
+            start = max(T, heapq.heappop(worker_heap))
+            rank = idx + 1
+            result = self.spec_memo.get(step.digest)
+            if result is None:
+                start_buf = tracker.materialize(snapshot, step.word_values)
+                result = run_speculation(context, start_buf, rip, stride,
+                                         spec_budget)
+                self.spec_memo[step.digest] = result
+                stats.speculations_executed += 1
+                stats.speculation_instructions += result.instructions
+                if result.fault is not None:
+                    stats.speculation_faults += 1
+            else:
+                stats.speculations_reused += 1
+            stats.speculations_dispatched += 1
+            ready = (start + cm.rollout_seconds(rank, tracker.n_target_bits)
+                     + cm.exec_seconds(result.instructions,
+                                       dep_tracking=True))
+            if result.entry is not None:
+                cache.insert(result.entry.with_ready_time(ready))
+                mask.update_from_entry(result.entry)
+            covered.add(cover_key)
+            heapq.heappush(worker_heap, ready)
+        return T
+
+
+class MemoTimelinePoint:
+    """One sample of the memoization run's progress (Figure 6, right)."""
+
+    __slots__ = ("instructions", "scaling")
+
+    def __init__(self, instructions, scaling):
+        self.instructions = instructions
+        self.scaling = scaling
+
+    def __repr__(self):
+        return "MemoTimelinePoint(instructions=%d, scaling=%.3f)" % (
+            self.instructions, self.scaling)
+
+
+class MemoResult:
+    """Outcome of a single-core generalized-memoization run."""
+
+    def __init__(self, program_name, recognized, sequential_seconds,
+                 makespan_seconds, total_instructions, stats, timeline,
+                 cache):
+        self.program_name = program_name
+        self.recognized = recognized
+        self.sequential_seconds = sequential_seconds
+        self.makespan_seconds = makespan_seconds
+        self.total_instructions = total_instructions
+        self.stats = stats
+        self.timeline = timeline
+        self.cache = cache
+
+    @property
+    def scaling(self):
+        return self.sequential_seconds / self.makespan_seconds
+
+    def __repr__(self):
+        return "MemoResult(%s, scaling=%.3f, hits=%d)" % (
+            self.program_name, self.scaling, self.stats.hits)
+
+
+class MemoizingEngine:
+    """Single-core LASC: speed up execution with the program's own past.
+
+    This is the paper's laptop experiment (Figure 6, right): no
+    speculation, no prediction — the main thread tracks dependencies as
+    it runs, closes a cache entry every ``memo_block`` supersteps, and
+    probes the cache at each superstep boundary. Hits fast-forward over
+    computation the program has effectively performed before —
+    generalized memoization.
+    """
+
+    def __init__(self, program, platform=None, config=None, recognized=None,
+                 initial_cache=None):
+        self.program = program
+        self.platform = platform or laptop1()
+        self.config = config or EngineConfig()
+        self.recognized = recognized
+        self.initial_cache = initial_cache
+
+    def run(self, timeline_samples=64, max_instructions=500_000_000):
+        program = self.program
+        config = self.config
+        cm = self.platform.cost_model
+        if self.recognized is None:
+            self.recognized = Recognizer(config).find_for_memoization(program)
+        recognized = self.recognized
+        rip = recognized.ip
+        stride = recognized.stride
+        break_ips = frozenset((rip,))
+
+        cache = TrajectoryCache(capacity_bytes=config.cache_capacity_bytes)
+        if self.initial_cache is not None:
+            for entry in self.initial_cache.entries():
+                cache.insert(entry.with_ready_time(0.0))
+        stats = RunStats()
+        main = program.make_machine()
+        dep = DepVector(program.layout.size)
+        open_start = bytes(main.state.buf)
+        open_span = 0
+        open_occurrences = 0
+        timeline = []
+        T = 0.0
+        executed_total = 0
+        sample_every = None
+
+        while not main.halted and executed_total < max_instructions:
+            chunk = 0
+            for __ in range(stride):
+                result = main.run(max_instructions=max_instructions,
+                                  break_ips=break_ips, dep=dep)
+                chunk += result.instructions
+                if result.reason != STOP_BREAKPOINT:
+                    break
+            executed_total += chunk
+            open_span += chunk
+            T += cm.exec_seconds(chunk, dep_tracking=True)
+            stats.instructions_executed += chunk
+            if main.halted:
+                break
+            stats.supersteps += 1
+            open_occurrences += 1
+
+            if open_occurrences >= config.memo_block:
+                entry_buf = bytes(main.state.buf)
+                entry = CacheEntry.from_execution(
+                    rip, dep, open_start, entry_buf, open_span,
+                    occurrences=open_occurrences)
+                cache.insert(entry)
+                open_start = entry_buf
+                open_span = 0
+                open_occurrences = 0
+                dep.reset()
+
+            # Probe the cache with the current state.
+            stats.queries += 1
+            probe_bits = 256
+            stats.query_bits_total += probe_bits
+            T += cm.memo_query_seconds(probe_bits)
+            entry = cache.lookup(rip, main.state.buf)
+            if entry is not None:
+                stats.hits += 1
+                T += cm.apply_seconds()
+                entry.apply(main.state.buf)
+                stats.instructions_fast_forwarded += entry.length
+                # The open entry now spans a jump; restart it.
+                open_start = bytes(main.state.buf)
+                open_span = 0
+                open_occurrences = 0
+                dep.reset()
+            else:
+                stats.misses += 1
+
+            progress = (stats.instructions_executed
+                        + stats.instructions_fast_forwarded)
+            if sample_every is None and stats.supersteps >= 8:
+                sample_every = max(1, stats.supersteps)
+            if sample_every is not None \
+                    and stats.supersteps % sample_every == 0:
+                baseline = cm.exec_seconds(progress, dep_tracking=False)
+                timeline.append(MemoTimelinePoint(progress, baseline / T))
+
+        progress = (stats.instructions_executed
+                    + stats.instructions_fast_forwarded)
+        sequential_seconds = cm.exec_seconds(progress, dep_tracking=False)
+        makespan = T if T > 0 else 1e-12
+        baseline = sequential_seconds
+        timeline.append(MemoTimelinePoint(progress, baseline / makespan))
+        if timeline_samples and len(timeline) > timeline_samples:
+            step = len(timeline) / timeline_samples
+            timeline = [timeline[int(i * step)]
+                        for i in range(timeline_samples)] + [timeline[-1]]
+        return MemoResult(program.name, recognized, sequential_seconds,
+                          makespan, progress, stats, timeline, cache)

@@ -1,0 +1,139 @@
+"""Trend predictor: consensus on the *increment* sequence (extension).
+
+The paper's linear regressor maps a word's current value to its next
+value — perfect for fixed strides (``y = x + c``) and affine updates.
+It cannot represent sequences whose increments themselves progress
+arithmetically (triangular-number addresses, ``i*(i+1)/2`` offsets,
+nested-loop flattened indices): there ``y - x`` grows linearly with
+*time*, so no function of ``x`` alone is exact.
+
+This predictor models the increment directly: it keeps the recent
+increments ``d_t = v_t - v_{t-1}`` per word and, when their second
+difference is constant by supermajority, extrapolates
+``v' = v + d + dd``. It is an *extension* (off by default — the paper's
+ensemble has exactly four algorithms); enable it with
+``EngineConfig(enable_trend_predictor=True)`` and the RWMA routes bits
+to it only where it earns them.
+"""
+
+import numpy as np
+
+from repro.core.predictors.base import Predictor
+
+_M32 = 1 << 32
+
+
+def _wrap_signed(v):
+    v %= _M32
+    return v - _M32 if v >= (1 << 31) else v
+
+
+class _WordTrend:
+    """Recent-value window + second-difference consensus for one word."""
+
+    __slots__ = ("values", "hits", "trials")
+
+    WINDOW = 8
+
+    def __init__(self):
+        self.values = []
+        self.hits = 0
+        self.trials = 0
+
+    def observe(self, value):
+        if len(self.values) >= 3:
+            self.trials += 1
+            if self.predict_next() == value % _M32:
+                self.hits += 1
+        self.values.append(value)
+        if len(self.values) > self.WINDOW:
+            self.values.pop(0)
+
+    def predict_next(self):
+        values = self.values
+        if not values:
+            return 0
+        if len(values) < 3:
+            return values[-1] % _M32
+        increments = [_wrap_signed(b - a)
+                      for a, b in zip(values, values[1:])]
+        seconds = [b - a for a, b in zip(increments, increments[1:])]
+        need = (len(seconds) * 7 + 9) // 10
+        top = max(set(seconds), key=seconds.count)
+        if seconds.count(top) >= need:
+            return (values[-1] + increments[-1] + top) % _M32
+        # No arithmetic trend: persist (let other experts own this bit).
+        return values[-1] % _M32
+
+    def confidence(self):
+        if self.trials == 0:
+            return 0.5
+        value = (self.hits + 0.5) / (self.trials + 1.0)
+        return min(max(value, 0.5), 0.999)
+
+
+class TrendPredictor(Predictor):
+    name = "trend"
+
+    def __init__(self):
+        super().__init__()
+        self._models = []
+
+    def _grow(self, old_bits, new_bits):
+        n_words = new_bits // 32
+        while len(self._models) < n_words:
+            self._models.append(_WordTrend())
+
+    def update(self, prev_view, next_view):
+        self.ensure_capacity(next_view.n_bits)
+        # Trend state is time-indexed: feed only the *new* observation
+        # (prev_view was already observed last round; the first call
+        # seeds the window with it).
+        if not any(m.values for m in self._models):
+            for model, value in zip(self._models,
+                                    prev_view.word_values.tolist()):
+                model.observe(int(value))
+        for model, value in zip(self._models,
+                                next_view.word_values.tolist()):
+            model.observe(int(value))
+
+    def predict(self, view):
+        self.ensure_capacity(view.n_bits)
+        n_words = view.n_bits // 32
+        predicted = np.empty(n_words, dtype=np.uint32)
+        confidence_words = np.empty(n_words)
+        current = view.word_values.tolist()
+        for i, model in enumerate(self._models[:n_words]):
+            # Pure in the view: when asked about the live trajectory
+            # head, extrapolate the learned trend from the *given* value
+            # (supports rollout chaining by re-anchoring each step).
+            values = model.values
+            if len(values) >= 3 and values[-1] % _M32 == current[i] % _M32:
+                predicted[i] = model.predict_next()
+            elif len(values) >= 3:
+                # Rollout step (view is a prediction, not the live head):
+                # re-anchor at the given value with the last learned
+                # increment step. Exact one step out; deeper rollouts
+                # under-extrapolate the growing increment — a documented
+                # limitation the RWMA weights around.
+                increments = [_wrap_signed(b - a)
+                              for a, b in zip(values, values[1:])]
+                seconds = [b - a
+                           for a, b in zip(increments, increments[1:])]
+                need = (len(seconds) * 7 + 9) // 10
+                top = max(set(seconds), key=seconds.count)
+                if seconds.count(top) >= need:
+                    predicted[i] = (current[i] + increments[-1]
+                                    + top) % _M32
+                else:
+                    predicted[i] = current[i] % _M32
+            else:
+                predicted[i] = current[i] % _M32
+            confidence_words[i] = model.confidence()
+        bits = np.unpackbits(predicted.view(np.uint8), bitorder="little")
+        confidence = np.repeat(confidence_words, 32)
+        return bits, confidence
+
+    def reset(self):
+        super().reset()
+        self._models = []

@@ -1,0 +1,29 @@
+"""The weatherman predictor: tomorrow will be like today (§4.4.2).
+
+"The weatherman predictor predicts that the next value of each bit will
+be its current value." This is the workhorse for slowly-changing state —
+best-so-far registers, rarely-updated globals — and, combined with the
+excitation machinery (unobserved bytes are copied from the current
+state), generalizes the same idea to the entire state vector.
+"""
+
+import numpy as np
+
+from repro.core.predictors.base import Predictor
+
+
+class WeathermanPredictor(Predictor):
+    name = "weatherman"
+
+    #: Fixed self-reported confidence; the RWMA weights carry the real
+    #: per-bit information about how often persistence is right.
+    CONFIDENCE = 0.9
+
+    def update(self, prev_view, next_view):
+        self.ensure_capacity(next_view.n_bits)
+
+    def predict(self, view):
+        self.ensure_capacity(view.n_bits)
+        bits = view.bits.astype(np.uint8, copy=True)
+        confidence = np.full(view.n_bits, self.CONFIDENCE)
+        return bits, confidence

@@ -1,0 +1,159 @@
+"""Statistics collectors for prediction quality and engine runs.
+
+:class:`PredictionStats` records, per observed RIP transition, which bits
+each expert got wrong and what the combined and equal-weight votes were.
+From that it derives the three error rates of the paper's Table 2:
+equal-weight, hindsight-optimal (the best single expert per bit, chosen
+after the fact — the regret-bound comparator), and the actual RWMA rate.
+
+A prediction is counted correct the way the paper counts it: the
+predicted state vector matches the true next state on the *relevant*
+bits. Pass ``relevant_bits`` (e.g. the union of dependency bits observed
+in cache entries) to score that way; default is all target bits.
+"""
+
+import numpy as np
+
+
+class PredictionStats:
+    def __init__(self, expert_names):
+        self.expert_names = list(expert_names)
+        self._expert_errors = []  # per obs: list of packed error bitmaps
+        self._ensemble_errors = []  # packed (ensemble_bits != actual)
+        self._equal_errors = []  # packed (equal_bits != actual)
+        self._n_bits = []  # bits scored at each observation
+        self.observations = 0
+
+    def record(self, outcome):
+        """Ingest an :class:`...ensemble.ObserveOutcome`."""
+        if not outcome.scored:
+            return
+        self.observations += 1
+        self._n_bits.append(len(outcome.actual_bits))
+        self._expert_errors.append(
+            [np.packbits(err) for err in outcome.expert_errors])
+        self._ensemble_errors.append(
+            np.packbits(outcome.ensemble_bits != outcome.actual_bits))
+        self._equal_errors.append(
+            np.packbits(outcome.equal_weight_bits != outcome.actual_bits))
+
+    # -- unpacking helpers ---------------------------------------------------
+
+    def _unpack(self, packed, n_bits, max_bits):
+        bits = np.unpackbits(packed)[:n_bits]
+        if n_bits < max_bits:
+            bits = np.concatenate(
+                [bits, np.zeros(max_bits - n_bits, dtype=np.uint8)])
+        return bits
+
+    def _error_matrix(self, packed_list):
+        """(observations x max_bits) 0/1 error matrix."""
+        if not packed_list:
+            return np.zeros((0, 0), dtype=np.uint8)
+        max_bits = max(self._n_bits)
+        rows = [self._unpack(p, n, max_bits)
+                for p, n in zip(packed_list, self._n_bits)]
+        return np.array(rows, dtype=np.uint8)
+
+    def _state_error_rate(self, matrix, relevant_bits=None):
+        if matrix.size == 0:
+            return 0.0
+        if relevant_bits is not None:
+            mask = np.zeros(matrix.shape[1], dtype=bool)
+            idx = np.asarray(sorted(relevant_bits), dtype=np.int64)
+            idx = idx[idx < matrix.shape[1]]
+            mask[idx] = True
+            matrix = matrix[:, mask]
+        wrong = matrix.any(axis=1)
+        return float(wrong.mean())
+
+    # -- Table 2 quantities --------------------------------------------------------
+
+    def actual_error_rate(self, relevant_bits=None):
+        """State-level error of the RWMA-combined prediction."""
+        return self._state_error_rate(self._error_matrix(self._ensemble_errors),
+                                      relevant_bits)
+
+    def equal_weight_error_rate(self, relevant_bits=None):
+        """State-level error when every expert votes with equal weight."""
+        return self._state_error_rate(self._error_matrix(self._equal_errors),
+                                      relevant_bits)
+
+    def hindsight_error_rate(self, relevant_bits=None):
+        """State-level error of the clairvoyant best-expert-per-bit mix."""
+        if not self._expert_errors:
+            return 0.0
+        per_expert = [
+            self._error_matrix([obs[e] for obs in self._expert_errors])
+            for e in range(len(self.expert_names))]
+        stacked = np.stack(per_expert)  # (experts, obs, bits)
+        totals = stacked.sum(axis=1)  # (experts, bits)
+        best = totals.argmin(axis=0)  # per-bit best expert
+        chosen = stacked[best, :, np.arange(stacked.shape[2])].T
+        return self._state_error_rate(chosen.astype(np.uint8), relevant_bits)
+
+    def total_predictions(self):
+        return self.observations
+
+    def incorrect_predictions(self, relevant_bits=None):
+        matrix = self._error_matrix(self._ensemble_errors)
+        if matrix.size == 0:
+            return 0
+        if relevant_bits is not None:
+            rate = self._state_error_rate(matrix, relevant_bits)
+            return int(round(rate * matrix.shape[0]))
+        return int(matrix.any(axis=1).sum())
+
+    def per_expert_bit_error_totals(self):
+        """(experts x bits) total mistakes — companion to Figure 3."""
+        if not self._expert_errors:
+            return np.zeros((len(self.expert_names), 0))
+        per_expert = [
+            self._error_matrix([obs[e] for obs in self._expert_errors])
+            for e in range(len(self.expert_names))]
+        return np.stack(per_expert).sum(axis=1)
+
+
+class RunStats:
+    """Counters accumulated by an engine run."""
+
+    def __init__(self):
+        self.supersteps = 0
+        self.queries = 0
+        self.hits = 0
+        self.misses = 0
+        self.misses_late = 0  # a worker had it, but wasn't done yet
+        self.misses_nomatch = 0  # nothing in the cache matched
+        self.instructions_executed = 0
+        self.instructions_fast_forwarded = 0
+        self.speculations_dispatched = 0
+        self.speculations_executed = 0  # actual VM runs (not deduped)
+        self.speculations_reused = 0  # served from the cross-run memo
+        self.speculation_instructions = 0
+        self.speculation_faults = 0
+        self.query_bits_total = 0
+        self.phase_transitions = 0
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def miss_rate(self):
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    @property
+    def mean_query_bits(self):
+        return self.query_bits_total / self.queries if self.queries else 0.0
+
+    def as_dict(self):
+        return dict(self.__dict__, hit_rate=self.hit_rate,
+                    miss_rate=self.miss_rate)
+
+    def __repr__(self):
+        return ("RunStats(supersteps=%d, hits=%d, misses=%d, exec=%d, "
+                "ff=%d)" % (self.supersteps, self.hits, self.misses,
+                            self.instructions_executed,
+                            self.instructions_fast_forwarded))

@@ -1,0 +1,53 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded or decoded."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source was malformed."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class MiniCError(ReproError):
+    """Mini-C source was malformed (lexical, syntactic, or semantic)."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class MachineError(ReproError):
+    """The simulated machine entered an illegal configuration."""
+
+
+class SegmentationFault(MachineError):
+    """A memory access fell outside the mapped state vector."""
+
+
+class IllegalInstruction(MachineError):
+    """The transition function fetched an undecodable instruction."""
+
+
+class CodeWriteError(MachineError):
+    """A store targeted the write-protected code region."""
+
+
+class LoaderError(ReproError):
+    """A program image could not be laid out in memory."""
+
+
+class EngineError(ReproError):
+    """The ASC engine was misconfigured or diverged."""

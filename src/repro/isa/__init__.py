@@ -1,0 +1,43 @@
+"""SVM32: the 32-bit register ISA executed by the trajectory-based simulator.
+
+SVM32 stands in for the 32-bit x86 subset used by the paper's TBFS. It is a
+byte-addressable, little-endian register machine with eight general-purpose
+registers named after their x86 counterparts, an instruction pointer, an
+arithmetic flags register, and a fixed 8-byte instruction encoding. The ISA
+is deliberately x86-flavored (same register names, flag semantics, and
+condition codes) so the paper's vocabulary maps one-to-one onto this code.
+"""
+
+from repro.isa.opcodes import Op, OperandShape, OPCODE_INFO, MNEMONIC_TO_OP
+from repro.isa.registers import (
+    Reg,
+    REG_NAMES,
+    REG_COUNT,
+    NAME_TO_REG,
+    Flag,
+)
+from repro.isa.encoding import (
+    INSTRUCTION_SIZE,
+    AddrMode,
+    encode,
+    decode,
+)
+from repro.isa.instruction import Instruction, MemOperand
+
+__all__ = [
+    "Op",
+    "OperandShape",
+    "OPCODE_INFO",
+    "MNEMONIC_TO_OP",
+    "Reg",
+    "REG_NAMES",
+    "REG_COUNT",
+    "NAME_TO_REG",
+    "Flag",
+    "INSTRUCTION_SIZE",
+    "AddrMode",
+    "encode",
+    "decode",
+    "Instruction",
+    "MemOperand",
+]

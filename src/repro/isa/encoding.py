@@ -1,0 +1,102 @@
+"""Fixed-width binary encoding for SVM32 instructions.
+
+Every instruction occupies exactly :data:`INSTRUCTION_SIZE` (8) bytes:
+
+===========  =========================================================
+byte 0       opcode (:class:`repro.isa.opcodes.Op`)
+byte 1       addressing mode for memory operands (:class:`AddrMode`),
+             zero otherwise
+byte 2       ``ra`` — destination / data / first source register
+byte 3       ``rb`` — second source register; for memory operands the
+             high nibble is the base register and the low nibble the
+             index register
+bytes 4..7   32-bit little-endian immediate / displacement / target
+===========  =========================================================
+
+The fixed width keeps instruction fetch trivial (one aligned 8-byte read)
+and makes the map between code addresses and instructions bijective, which
+the recognizer relies on when it treats instruction-pointer values as
+hyperplanes in state space.
+"""
+
+import enum
+import struct
+
+from repro.errors import EncodingError
+from repro.isa.opcodes import Op
+
+INSTRUCTION_SIZE = 8
+
+_STRUCT = struct.Struct("<BBBBi")
+
+
+class AddrMode(enum.IntEnum):
+    """Effective-address computation selector for memory operands.
+
+    ``ea`` is always ``disp`` plus the selected register terms:
+
+    * ``ABS``        — ``disp``
+    * ``BASE``       — ``base + disp``
+    * ``BASE_INDEX`` — ``base + index + disp``
+    * ``BASE_INDEX2``— ``base + index*2 + disp``
+    * ``BASE_INDEX4``— ``base + index*4 + disp``
+    """
+
+    ABS = 0
+    BASE = 1
+    BASE_INDEX = 2
+    BASE_INDEX2 = 3
+    BASE_INDEX4 = 4
+
+
+_SCALE = {
+    AddrMode.ABS: 0,
+    AddrMode.BASE: 0,
+    AddrMode.BASE_INDEX: 1,
+    AddrMode.BASE_INDEX2: 2,
+    AddrMode.BASE_INDEX4: 4,
+}
+
+
+def scale_of(mode):
+    """Return the index scale factor (0 when no index register is used)."""
+    return _SCALE[AddrMode(mode)]
+
+
+def encode(op, mode=0, ra=0, rb=0, imm=0):
+    """Encode one instruction into its 8-byte form.
+
+    ``imm`` is accepted as a signed or unsigned 32-bit quantity and stored
+    little-endian; values outside 32 bits raise :class:`EncodingError`.
+    """
+    if not 0 <= int(op) <= 0xFF:
+        raise EncodingError("opcode out of range: %r" % (op,))
+    if not 0 <= mode <= 0xFF:
+        raise EncodingError("mode out of range: %r" % (mode,))
+    if not 0 <= ra <= 0xFF or not 0 <= rb <= 0xFF:
+        raise EncodingError("register field out of range: ra=%r rb=%r" % (ra, rb))
+    imm = int(imm)
+    if imm >= 1 << 31:
+        if imm >= 1 << 32:
+            raise EncodingError("immediate out of 32-bit range: %d" % imm)
+        imm -= 1 << 32
+    elif imm < -(1 << 31):
+        raise EncodingError("immediate out of 32-bit range: %d" % imm)
+    return _STRUCT.pack(int(op), mode, ra, rb, imm)
+
+
+def decode(data, offset=0):
+    """Decode 8 bytes into ``(op, mode, ra, rb, imm)``.
+
+    ``imm`` is returned signed (matching how displacements and immediates
+    are used by the transition function). Raises :class:`EncodingError` on
+    an unknown opcode byte or short input.
+    """
+    if len(data) - offset < INSTRUCTION_SIZE:
+        raise EncodingError("truncated instruction at offset %d" % offset)
+    opbyte, mode, ra, rb, imm = _STRUCT.unpack_from(data, offset)
+    try:
+        op = Op(opbyte)
+    except ValueError:
+        raise EncodingError("unknown opcode byte 0x%02x at offset %d" % (opbyte, offset))
+    return op, mode, ra, rb, imm

@@ -1,0 +1,164 @@
+"""High-level instruction value type used by the assembler and disassembler.
+
+The transition function works directly on raw encoded bytes for speed;
+:class:`Instruction` exists for the human-facing tools (assembler output,
+disassembly, tests) and round-trips losslessly through
+:func:`repro.isa.encoding.encode` / ``decode``.
+"""
+
+from repro.errors import EncodingError
+from repro.isa.encoding import AddrMode, encode, decode, scale_of
+from repro.isa.opcodes import Op, OperandShape, OPCODE_INFO
+from repro.isa.registers import REG_NAMES
+
+
+class MemOperand:
+    """A memory operand ``[base + index*scale + disp]``.
+
+    ``base`` and ``index`` are register indices or ``None``. ``scale``
+    must be 1, 2, or 4 and is only meaningful with an index register.
+    """
+
+    __slots__ = ("base", "index", "scale", "disp")
+
+    def __init__(self, base=None, index=None, scale=1, disp=0):
+        if index is not None and scale not in (1, 2, 4):
+            raise EncodingError("scale must be 1, 2 or 4, got %r" % (scale,))
+        if index is not None and base is None:
+            raise EncodingError("index register requires a base register")
+        self.base = base
+        self.index = index
+        self.scale = scale if index is not None else 1
+        self.disp = int(disp)
+
+    def mode(self):
+        """Return the :class:`AddrMode` encoding this operand's shape."""
+        if self.base is None:
+            return AddrMode.ABS
+        if self.index is None:
+            return AddrMode.BASE
+        return {1: AddrMode.BASE_INDEX, 2: AddrMode.BASE_INDEX2,
+                4: AddrMode.BASE_INDEX4}[self.scale]
+
+    def reg_byte(self):
+        """Pack base/index registers into the ``rb`` nibble pair."""
+        base = 0 if self.base is None else int(self.base)
+        index = 0 if self.index is None else int(self.index)
+        return (base << 4) | index
+
+    @classmethod
+    def from_fields(cls, mode, rb, disp):
+        """Rebuild a memory operand from decoded instruction fields."""
+        mode = AddrMode(mode)
+        if mode == AddrMode.ABS:
+            return cls(disp=disp)
+        base = (rb >> 4) & 0x0F
+        index = rb & 0x0F
+        if mode == AddrMode.BASE:
+            return cls(base=base, disp=disp)
+        return cls(base=base, index=index, scale=scale_of(mode), disp=disp)
+
+    def __eq__(self, other):
+        if not isinstance(other, MemOperand):
+            return NotImplemented
+        return (self.base == other.base and self.index == other.index
+                and self.scale == other.scale and self.disp == other.disp)
+
+    def __hash__(self):
+        return hash((self.base, self.index, self.scale, self.disp))
+
+    def __str__(self):
+        parts = []
+        if self.base is not None:
+            parts.append(REG_NAMES[self.base])
+        if self.index is not None:
+            term = REG_NAMES[self.index]
+            if self.scale != 1:
+                term += "*%d" % self.scale
+            parts.append(term)
+        if self.disp or not parts:
+            parts.append(str(self.disp))
+        return "[%s]" % "+".join(parts).replace("+-", "-")
+
+    def __repr__(self):
+        return "MemOperand(base=%r, index=%r, scale=%r, disp=%r)" % (
+            self.base, self.index, self.scale, self.disp)
+
+
+class Instruction:
+    """One decoded SVM32 instruction.
+
+    Attributes map straight onto the encoding fields; :attr:`mem` is a
+    convenience view present only for memory-operand shapes.
+    """
+
+    __slots__ = ("op", "mode", "ra", "rb", "imm")
+
+    def __init__(self, op, mode=0, ra=0, rb=0, imm=0):
+        self.op = Op(op)
+        self.mode = int(mode)
+        self.ra = int(ra)
+        self.rb = int(rb)
+        self.imm = int(imm)
+
+    @property
+    def shape(self):
+        return OPCODE_INFO[self.op].shape
+
+    @property
+    def mnemonic(self):
+        return OPCODE_INFO[self.op].mnemonic
+
+    @property
+    def mem(self):
+        """The memory operand view (only valid for MEM_* shapes)."""
+        return MemOperand.from_fields(self.mode, self.rb, self.imm)
+
+    @classmethod
+    def with_mem(cls, op, ra, mem):
+        """Build a memory-shape instruction from a :class:`MemOperand`."""
+        return cls(op, mode=int(mem.mode()), ra=ra, rb=mem.reg_byte(),
+                   imm=mem.disp)
+
+    def encode(self):
+        return encode(self.op, self.mode, self.ra, self.rb, self.imm)
+
+    @classmethod
+    def decode(cls, data, offset=0):
+        op, mode, ra, rb, imm = decode(data, offset)
+        return cls(op, mode, ra, rb, imm)
+
+    def __eq__(self, other):
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (self.op == other.op and self.mode == other.mode
+                and self.ra == other.ra and self.rb == other.rb
+                and self.imm == other.imm)
+
+    def __hash__(self):
+        return hash((self.op, self.mode, self.ra, self.rb, self.imm))
+
+    def __repr__(self):
+        return "Instruction(%s, mode=%d, ra=%d, rb=%d, imm=%d)" % (
+            self.op.name, self.mode, self.ra, self.rb, self.imm)
+
+    def __str__(self):
+        shape = self.shape
+        name = self.mnemonic
+        if shape == OperandShape.NONE:
+            return name
+        if shape == OperandShape.R:
+            return "%s %s" % (name, REG_NAMES[self.ra])
+        if shape == OperandShape.I:
+            return "%s %d" % (name, self.imm)
+        if shape == OperandShape.RR:
+            return "%s %s, %s" % (name, REG_NAMES[self.ra], REG_NAMES[self.rb])
+        if shape == OperandShape.RI:
+            return "%s %s, %d" % (name, REG_NAMES[self.ra], self.imm)
+        if shape == OperandShape.MEM_LOAD:
+            return "%s %s, %s" % (name, REG_NAMES[self.ra], self.mem)
+        if shape == OperandShape.MEM_STORE:
+            return "%s %s, %s" % (name, self.mem, REG_NAMES[self.ra])
+        if shape == OperandShape.JUMP:
+            return "%s 0x%x" % (name, self.imm & 0xFFFFFFFF)
+        raise AssertionError("unhandled shape %r" % (shape,))

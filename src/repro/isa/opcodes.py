@@ -1,0 +1,260 @@
+"""Opcode definitions and per-opcode metadata for SVM32.
+
+Each opcode carries an :class:`OperandShape` describing how its operand
+fields are interpreted. The assembler, disassembler, and transition
+function all key off this single table, so adding an opcode means adding
+one enum member, one metadata row, and one semantic handler.
+"""
+
+import enum
+
+
+class OperandShape(enum.Enum):
+    """How an instruction's (mode, ra, rb, imm) fields are interpreted."""
+
+    NONE = "none"  # no operands (nop, hlt, ret)
+    R = "r"  # one register in ra
+    I = "i"  # one 32-bit immediate
+    RR = "rr"  # two registers: ra, rb
+    RI = "ri"  # register ra and immediate
+    MEM_LOAD = "mem_load"  # ra <- memory operand (mode, rb nibbles, imm)
+    MEM_STORE = "mem_store"  # memory operand <- ra
+    JUMP = "jump"  # absolute code target in imm
+
+
+class Op(enum.IntEnum):
+    """SVM32 opcode numbers (the first byte of every instruction)."""
+
+    # -- data movement ----------------------------------------------------
+    NOP = 0x00
+    HLT = 0x01
+    MOV_RR = 0x02
+    MOV_RI = 0x03
+    LOAD = 0x04  # ra <- mem32[ea]
+    STORE = 0x05  # mem32[ea] <- ra
+    LOAD8U = 0x06  # ra <- zero-extended mem8[ea]
+    LOAD8S = 0x07  # ra <- sign-extended mem8[ea]
+    STORE8 = 0x08  # mem8[ea] <- low byte of ra
+    LEA = 0x09  # ra <- ea
+    PUSH_R = 0x0A
+    PUSH_I = 0x0B
+    POP_R = 0x0C
+    XCHG = 0x0D
+
+    # -- arithmetic --------------------------------------------------------
+    ADD_RR = 0x10
+    ADD_RI = 0x11
+    SUB_RR = 0x12
+    SUB_RI = 0x13
+    ADC_RR = 0x14
+    SBB_RR = 0x15
+    IMUL_RR = 0x16
+    IMUL_RI = 0x17
+    IDIV_R = 0x18  # eax <- eax / ra (signed, trunc); edx <- remainder
+    UDIV_R = 0x19  # unsigned counterpart of IDIV_R
+    INC_R = 0x1A
+    DEC_R = 0x1B
+    NEG_R = 0x1C
+    NOT_R = 0x1D
+
+    # -- logic and shifts --------------------------------------------------
+    AND_RR = 0x20
+    AND_RI = 0x21
+    OR_RR = 0x22
+    OR_RI = 0x23
+    XOR_RR = 0x24
+    XOR_RI = 0x25
+    SHL_RI = 0x26
+    SHL_RR = 0x27  # shift count in rb (low 5 bits)
+    SHR_RI = 0x28
+    SHR_RR = 0x29
+    SAR_RI = 0x2A
+    SAR_RR = 0x2B
+    CMP_RR = 0x2C
+    CMP_RI = 0x2D
+    TEST_RR = 0x2E
+    TEST_RI = 0x2F
+
+    # -- control flow ------------------------------------------------------
+    JMP = 0x30
+    JMP_R = 0x31
+    JZ = 0x32
+    JNZ = 0x33
+    JL = 0x34
+    JLE = 0x35
+    JG = 0x36
+    JGE = 0x37
+    JB = 0x38
+    JBE = 0x39
+    JA = 0x3A
+    JAE = 0x3B
+    JS = 0x3C
+    JNS = 0x3D
+    JO = 0x3E
+    JNO = 0x3F
+    CALL = 0x40
+    CALL_R = 0x41
+    RET = 0x42
+
+    # -- set on condition --------------------------------------------------
+    SETZ = 0x50
+    SETNZ = 0x51
+    SETL = 0x52
+    SETLE = 0x53
+    SETG = 0x54
+    SETGE = 0x55
+    SETB = 0x56
+    SETA = 0x57
+
+
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    __slots__ = ("op", "mnemonic", "shape")
+
+    def __init__(self, op, mnemonic, shape):
+        self.op = op
+        self.mnemonic = mnemonic
+        self.shape = shape
+
+    def __repr__(self):
+        return "OpInfo(%s, %r, %s)" % (self.op.name, self.mnemonic, self.shape)
+
+
+def _build_table():
+    shape_of = {
+        Op.NOP: OperandShape.NONE,
+        Op.HLT: OperandShape.NONE,
+        Op.MOV_RR: OperandShape.RR,
+        Op.MOV_RI: OperandShape.RI,
+        Op.LOAD: OperandShape.MEM_LOAD,
+        Op.STORE: OperandShape.MEM_STORE,
+        Op.LOAD8U: OperandShape.MEM_LOAD,
+        Op.LOAD8S: OperandShape.MEM_LOAD,
+        Op.STORE8: OperandShape.MEM_STORE,
+        Op.LEA: OperandShape.MEM_LOAD,
+        Op.PUSH_R: OperandShape.R,
+        Op.PUSH_I: OperandShape.I,
+        Op.POP_R: OperandShape.R,
+        Op.XCHG: OperandShape.RR,
+        Op.ADD_RR: OperandShape.RR,
+        Op.ADD_RI: OperandShape.RI,
+        Op.SUB_RR: OperandShape.RR,
+        Op.SUB_RI: OperandShape.RI,
+        Op.ADC_RR: OperandShape.RR,
+        Op.SBB_RR: OperandShape.RR,
+        Op.IMUL_RR: OperandShape.RR,
+        Op.IMUL_RI: OperandShape.RI,
+        Op.IDIV_R: OperandShape.R,
+        Op.UDIV_R: OperandShape.R,
+        Op.INC_R: OperandShape.R,
+        Op.DEC_R: OperandShape.R,
+        Op.NEG_R: OperandShape.R,
+        Op.NOT_R: OperandShape.R,
+        Op.AND_RR: OperandShape.RR,
+        Op.AND_RI: OperandShape.RI,
+        Op.OR_RR: OperandShape.RR,
+        Op.OR_RI: OperandShape.RI,
+        Op.XOR_RR: OperandShape.RR,
+        Op.XOR_RI: OperandShape.RI,
+        Op.SHL_RI: OperandShape.RI,
+        Op.SHL_RR: OperandShape.RR,
+        Op.SHR_RI: OperandShape.RI,
+        Op.SHR_RR: OperandShape.RR,
+        Op.SAR_RI: OperandShape.RI,
+        Op.SAR_RR: OperandShape.RR,
+        Op.CMP_RR: OperandShape.RR,
+        Op.CMP_RI: OperandShape.RI,
+        Op.TEST_RR: OperandShape.RR,
+        Op.TEST_RI: OperandShape.RI,
+        Op.JMP: OperandShape.JUMP,
+        Op.JMP_R: OperandShape.R,
+        Op.JZ: OperandShape.JUMP,
+        Op.JNZ: OperandShape.JUMP,
+        Op.JL: OperandShape.JUMP,
+        Op.JLE: OperandShape.JUMP,
+        Op.JG: OperandShape.JUMP,
+        Op.JGE: OperandShape.JUMP,
+        Op.JB: OperandShape.JUMP,
+        Op.JBE: OperandShape.JUMP,
+        Op.JA: OperandShape.JUMP,
+        Op.JAE: OperandShape.JUMP,
+        Op.JS: OperandShape.JUMP,
+        Op.JNS: OperandShape.JUMP,
+        Op.JO: OperandShape.JUMP,
+        Op.JNO: OperandShape.JUMP,
+        Op.CALL: OperandShape.JUMP,
+        Op.CALL_R: OperandShape.R,
+        Op.RET: OperandShape.NONE,
+        Op.SETZ: OperandShape.R,
+        Op.SETNZ: OperandShape.R,
+        Op.SETL: OperandShape.R,
+        Op.SETLE: OperandShape.R,
+        Op.SETG: OperandShape.R,
+        Op.SETGE: OperandShape.R,
+        Op.SETB: OperandShape.R,
+        Op.SETA: OperandShape.R,
+    }
+    mnemonic_of = {
+        Op.MOV_RR: "mov",
+        Op.MOV_RI: "mov",
+        Op.ADD_RR: "add",
+        Op.ADD_RI: "add",
+        Op.SUB_RR: "sub",
+        Op.SUB_RI: "sub",
+        Op.ADC_RR: "adc",
+        Op.SBB_RR: "sbb",
+        Op.IMUL_RR: "imul",
+        Op.IMUL_RI: "imul",
+        Op.IDIV_R: "idiv",
+        Op.UDIV_R: "udiv",
+        Op.INC_R: "inc",
+        Op.DEC_R: "dec",
+        Op.NEG_R: "neg",
+        Op.NOT_R: "not",
+        Op.AND_RR: "and",
+        Op.AND_RI: "and",
+        Op.OR_RR: "or",
+        Op.OR_RI: "or",
+        Op.XOR_RR: "xor",
+        Op.XOR_RI: "xor",
+        Op.SHL_RI: "shl",
+        Op.SHL_RR: "shl",
+        Op.SHR_RI: "shr",
+        Op.SHR_RR: "shr",
+        Op.SAR_RI: "sar",
+        Op.SAR_RR: "sar",
+        Op.CMP_RR: "cmp",
+        Op.CMP_RI: "cmp",
+        Op.TEST_RR: "test",
+        Op.TEST_RI: "test",
+        Op.PUSH_R: "push",
+        Op.PUSH_I: "push",
+        Op.POP_R: "pop",
+        Op.JMP_R: "jmpr",
+        Op.CALL_R: "callr",
+        Op.LOAD8U: "load8u",
+        Op.LOAD8S: "load8s",
+        Op.STORE8: "store8",
+    }
+    table = {}
+    for op in Op:
+        mnemonic = mnemonic_of.get(op, op.name.lower().replace("_r", ""))
+        # Default rule strips a trailing "_r"; fix the ones it would mangle.
+        if op in (Op.SETZ, Op.SETNZ, Op.SETL, Op.SETLE, Op.SETG, Op.SETGE,
+                  Op.SETB, Op.SETA, Op.JMP, Op.JZ, Op.JNZ, Op.JL, Op.JLE,
+                  Op.JG, Op.JGE, Op.JB, Op.JBE, Op.JA, Op.JAE, Op.JS,
+                  Op.JNS, Op.JO, Op.JNO, Op.CALL, Op.RET, Op.NOP, Op.HLT,
+                  Op.LOAD, Op.STORE, Op.LEA, Op.XCHG):
+            mnemonic = mnemonic_of.get(op, op.name.lower())
+        table[op] = OpInfo(op, mnemonic, shape_of[op])
+    return table
+
+
+OPCODE_INFO = _build_table()
+
+# Mnemonic -> list of opcodes sharing it (e.g. "mov" names MOV_RR and
+# MOV_RI; the assembler picks by operand types).
+MNEMONIC_TO_OP = {}
+for _info in OPCODE_INFO.values():
+    MNEMONIC_TO_OP.setdefault(_info.mnemonic, []).append(_info.op)

@@ -1,0 +1,43 @@
+"""Register file and flags definitions for SVM32."""
+
+import enum
+
+
+class Reg(enum.IntEnum):
+    """General-purpose register indices.
+
+    The names mirror 32-bit x86. ``ESP`` is the stack pointer used
+    implicitly by push/pop/call/ret; ``EBP`` is the conventional frame
+    pointer emitted by the Mini-C compiler. The remaining registers carry
+    no hardware-imposed roles.
+    """
+
+    EAX = 0
+    ECX = 1
+    EDX = 2
+    EBX = 3
+    ESP = 4
+    EBP = 5
+    ESI = 6
+    EDI = 7
+
+
+REG_COUNT = 8
+
+REG_NAMES = tuple(r.name.lower() for r in Reg)
+
+NAME_TO_REG = {name: Reg(i) for i, name in enumerate(REG_NAMES)}
+
+
+class Flag(enum.IntFlag):
+    """Bits of the EFLAGS register.
+
+    The subset of x86 flags that SVM32 arithmetic maintains: carry, zero,
+    sign, and overflow. All conditional jumps and set-on-condition
+    instructions are defined in terms of these four bits.
+    """
+
+    CF = 1 << 0
+    ZF = 1 << 1
+    SF = 1 << 2
+    OF = 1 << 3

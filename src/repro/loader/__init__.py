@@ -1,0 +1,5 @@
+"""Program images: laying out assembled code and data in a state vector."""
+
+from repro.loader.image import Program, DEFAULT_CODE_BASE, DEFAULT_STACK_SIZE
+
+__all__ = ["Program", "DEFAULT_CODE_BASE", "DEFAULT_STACK_SIZE"]

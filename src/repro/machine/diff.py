@@ -1,0 +1,114 @@
+"""Binary delta codec for state vectors.
+
+The paper compresses cache queries and responses with the Myers O(ND)
+binary differencing algorithm; only the *size* of the delta enters any
+measurement, so this module implements a byte-run delta with the same
+interface: a compact encoding of the positions and contents at which two
+equal-length buffers differ. Runs separated by gaps of at most
+:data:`MERGE_GAP` bytes are coalesced, which approximates the minimal
+delta for the sparse, clustered changes state vectors exhibit.
+
+Delta format (all integers LEB128 varints)::
+
+    [count] then per run: [offset gap from end of previous run] [length] [bytes]
+"""
+
+from repro.errors import MachineError
+
+#: Adjacent differing runs closer than this many bytes are merged.
+MERGE_GAP = 4
+
+
+def _write_varint(out, value):
+    if value < 0:
+        raise MachineError("varint cannot encode negative value %d" % value)
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data, pos):
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise MachineError("truncated varint in delta")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def diff_runs(old, new):
+    """Return the differing runs between two equal-length buffers.
+
+    Each run is ``(offset, bytes)`` taken from ``new``. Runs are maximal
+    after merging gaps of up to :data:`MERGE_GAP` unchanged bytes.
+    """
+    if len(old) != len(new):
+        raise MachineError(
+            "cannot diff buffers of different lengths (%d vs %d)"
+            % (len(old), len(new)))
+    runs = []
+    i = 0
+    n = len(old)
+    while i < n:
+        if old[i] == new[i]:
+            i += 1
+            continue
+        start = i
+        last_diff = i
+        i += 1
+        while i < n and i - last_diff <= MERGE_GAP:
+            if old[i] != new[i]:
+                last_diff = i
+            i += 1
+        end = last_diff + 1
+        runs.append((start, bytes(new[start:end])))
+        i = end
+    return runs
+
+
+def encode_delta(old, new):
+    """Encode the byte-level difference ``old -> new`` as a delta blob."""
+    runs = diff_runs(old, new)
+    out = bytearray()
+    _write_varint(out, len(runs))
+    prev_end = 0
+    for offset, data in runs:
+        _write_varint(out, offset - prev_end)
+        _write_varint(out, len(data))
+        out.extend(data)
+        prev_end = offset + len(data)
+    return bytes(out)
+
+
+def apply_delta(old, delta):
+    """Reconstruct ``new`` from ``old`` and a delta blob."""
+    out = bytearray(old)
+    count, pos = _read_varint(delta, 0)
+    cursor = 0
+    for __ in range(count):
+        gap, pos = _read_varint(delta, pos)
+        length, pos = _read_varint(delta, pos)
+        offset = cursor + gap
+        if offset + length > len(out):
+            raise MachineError("delta run exceeds buffer length")
+        out[offset:offset + length] = delta[pos:pos + length]
+        pos += length
+        cursor = offset + length
+    if pos != len(delta):
+        raise MachineError("trailing bytes in delta blob")
+    return out
+
+
+def delta_size_bits(old, new):
+    """Size in bits of the encoded delta (the paper's query-size metric)."""
+    return len(encode_delta(old, new)) * 8

@@ -1,0 +1,28 @@
+"""Mini-C: a small C-subset compiler targeting SVM32.
+
+The paper's benchmarks are C programs compiled with GCC to freestanding
+x86 binaries. This package plays GCC's role: it compiles a C subset —
+ints, pointers, fixed-size arrays, structs, functions, and the usual
+control flow — down to SVM32 assembly, which the assembler turns into a
+runnable :class:`repro.loader.image.Program`.
+
+Supported language (see ``tests/minic`` for executable examples):
+
+* types: ``int``, pointers (including pointer-to-struct), fixed-size
+  arrays of int/pointer/struct, ``struct`` definitions, ``void``
+  functions
+* expressions: full C operator set over ints/pointers (arithmetic,
+  bitwise, shifts, comparisons, short-circuit ``&&``/``||``, assignment
+  and compound assignment, ``++``/``--``, ``*``/``&``, indexing,
+  ``.``/``->``, calls, ``sizeof``)
+* statements: blocks, ``if``/``else``, ``while``, ``for``, ``break``,
+  ``continue``, ``return``, declarations with initializers
+
+Not supported (not needed by the benchmarks): floating point, ``char``
+strings, typedefs, function pointers, varargs, dynamic allocation
+(benchmarks use static pools, as freestanding kernels do).
+"""
+
+from repro.minic.compiler import compile_source, compile_to_assembly
+
+__all__ = ["compile_source", "compile_to_assembly"]

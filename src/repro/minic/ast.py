@@ -1,0 +1,129 @@
+"""Abstract syntax tree node types for Mini-C.
+
+Nodes are plain attribute holders; semantic analysis annotates expression
+nodes with a ``ctype`` attribute (see :mod:`repro.minic.types`) and
+resolves identifiers to symbol objects.
+"""
+
+
+class Node:
+    """Base AST node; subclasses define ``_fields``."""
+
+    _fields = ()
+
+    def __init__(self, line, **kwargs):
+        self.line = line
+        for field in self._fields:
+            setattr(self, field, kwargs.pop(field))
+        if kwargs:
+            raise TypeError("unexpected fields: %s" % sorted(kwargs))
+
+    def __repr__(self):
+        inner = ", ".join("%s=%r" % (f, getattr(self, f)) for f in self._fields)
+        return "%s(%s)" % (type(self).__name__, inner)
+
+
+# -- top level ----------------------------------------------------------------
+
+class TranslationUnit(Node):
+    _fields = ("structs", "globals", "functions")
+
+
+class StructDef(Node):
+    _fields = ("name", "members")  # members: list of (type_spec, name)
+
+
+class GlobalVar(Node):
+    _fields = ("type_spec", "name", "init")  # init: expr, list of exprs, or None
+
+
+class FunctionDef(Node):
+    _fields = ("return_type", "name", "params", "body")
+    # params: list of (type_spec, name)
+
+
+class TypeSpec(Node):
+    """Unresolved type syntax: base ('int'|'void'|('struct', name)),
+    pointer depth, and optional array length expression."""
+
+    _fields = ("base", "ptr_depth", "array_len")
+
+
+# -- statements -----------------------------------------------------------------
+
+class Block(Node):
+    _fields = ("statements",)
+
+
+class DeclStmt(Node):
+    _fields = ("type_spec", "name", "init")
+
+
+class ExprStmt(Node):
+    _fields = ("expr",)
+
+
+class IfStmt(Node):
+    _fields = ("cond", "then_body", "else_body")
+
+
+class WhileStmt(Node):
+    _fields = ("cond", "body")
+
+
+class ForStmt(Node):
+    _fields = ("init", "cond", "step", "body")
+
+
+class ReturnStmt(Node):
+    _fields = ("value",)
+
+
+class BreakStmt(Node):
+    _fields = ()
+
+
+class ContinueStmt(Node):
+    _fields = ()
+
+
+# -- expressions -----------------------------------------------------------------
+
+class NumberLit(Node):
+    _fields = ("value",)
+
+
+class Ident(Node):
+    _fields = ("name",)
+
+
+class UnaryOp(Node):
+    _fields = ("op", "operand")  # op in - ! ~ * &
+
+
+class BinaryOp(Node):
+    _fields = ("op", "left", "right")
+
+
+class Assign(Node):
+    _fields = ("op", "target", "value")  # op: '=' or compound like '+='
+
+
+class IncDec(Node):
+    _fields = ("op", "target", "postfix")  # op: '++' or '--'
+
+
+class Index(Node):
+    _fields = ("array", "index")
+
+
+class Member(Node):
+    _fields = ("obj", "name", "arrow")  # arrow: True for ->
+
+
+class Call(Node):
+    _fields = ("name", "args")
+
+
+class SizeOf(Node):
+    _fields = ("type_spec",)

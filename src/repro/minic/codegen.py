@@ -1,0 +1,418 @@
+"""SVM32 code generation for analyzed Mini-C ASTs.
+
+A deliberately simple one-pass stack-machine scheme: every expression
+evaluates into ``eax``, sub-expression results are spilled with
+``push``/``pop``, ``ecx``/``edx`` are scratch. Locals live at fixed
+EBP-relative slots; the calling convention pushes arguments right to left
+and the caller pops them (cdecl). Simplicity over cleverness: the paper's
+predictors care about *regular* code, not fast code, and regular is what
+a naive generator produces.
+"""
+
+from repro.errors import MiniCError
+from repro.minic import ast
+
+_CMP_SIGNED = {"==": "setz", "!=": "setnz", "<": "setl", "<=": "setle",
+               ">": "setg", ">=": "setge"}
+_CMP_UNSIGNED = {"==": "setz", "!=": "setnz", "<": "setb", ">": "seta"}
+
+
+class CodeGenerator:
+    def __init__(self, info):
+        self.info = info
+        self.lines = []
+        self._label_counter = 0
+        self._loop_stack = []  # (continue_label, break_label)
+        self._fn_end_label = None
+
+    # -- helpers --------------------------------------------------------------
+
+    def emit(self, text):
+        self.lines.append("    %s" % text)
+
+    def emit_label(self, label):
+        self.lines.append("%s:" % label)
+
+    def new_label(self, hint="L"):
+        self._label_counter += 1
+        return "%s%d" % (hint, self._label_counter)
+
+    def _local_ref(self, symbol):
+        offset = symbol.ebp_offset
+        if offset >= 0:
+            return "[ebp+%d]" % offset
+        return "[ebp-%d]" % -offset
+
+    # -- program --------------------------------------------------------------
+
+    def generate(self, unit):
+        self.lines.append(".entry start")
+        self.emit_label("start")
+        self.emit("call fn_main")
+        self.emit("hlt")
+        for fn in unit.functions:
+            self.gen_function(fn)
+        self.lines.append(".data")
+        for symbol in self.info.globals.values():
+            self.emit_label(symbol.label)
+            if symbol.init_words is not None:
+                for word in symbol.init_words:
+                    self.emit(".word %d" % word)
+                remaining = symbol.ctype.size - 4 * len(symbol.init_words)
+                if remaining:
+                    self.emit(".space %d" % remaining)
+            else:
+                self.emit(".space %d" % symbol.ctype.size)
+        return "\n".join(self.lines) + "\n"
+
+    def gen_function(self, fn):
+        symbol = self.info.functions[fn.name]
+        self._fn_end_label = self.new_label("Lret")
+        self.emit_label(symbol.label)
+        self.emit("push ebp")
+        self.emit("mov ebp, esp")
+        frame = self.info.frame_sizes[fn.name]
+        if frame:
+            self.emit("sub esp, %d" % frame)
+        self.gen_stmt(fn.body)
+        self.emit_label(self._fn_end_label)
+        self.emit("mov esp, ebp")
+        self.emit("pop ebp")
+        self.emit("ret")
+
+    # -- statements -------------------------------------------------------------
+
+    def gen_stmt(self, stmt):
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self.gen_stmt(inner)
+        elif isinstance(stmt, ast.DeclStmt):
+            if stmt.init is not None:
+                self.rvalue(stmt.init)
+                self.emit("store %s, eax" % self._local_ref(stmt.symbol))
+        elif isinstance(stmt, ast.ExprStmt):
+            self.rvalue(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self.gen_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.gen_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self.rvalue(stmt.value)
+            self.emit("jmp %s" % self._fn_end_label)
+        elif isinstance(stmt, ast.BreakStmt):
+            self.emit("jmp %s" % self._loop_stack[-1][1])
+        elif isinstance(stmt, ast.ContinueStmt):
+            self.emit("jmp %s" % self._loop_stack[-1][0])
+        else:
+            raise MiniCError("codegen: unhandled statement %r" % stmt,
+                             line=stmt.line)
+
+    def _branch_if_false(self, cond, label):
+        self.rvalue(cond)
+        self.emit("cmp eax, 0")
+        self.emit("jz %s" % label)
+
+    def gen_if(self, stmt):
+        else_label = self.new_label("Lelse")
+        end_label = self.new_label("Lend")
+        self._branch_if_false(stmt.cond, else_label)
+        self.gen_stmt(stmt.then_body)
+        if stmt.else_body is not None:
+            self.emit("jmp %s" % end_label)
+            self.emit_label(else_label)
+            self.gen_stmt(stmt.else_body)
+            self.emit_label(end_label)
+        else:
+            self.emit_label(else_label)
+
+    def gen_while(self, stmt):
+        cond_label = self.new_label("Lwhile")
+        end_label = self.new_label("Lend")
+        self.emit_label(cond_label)
+        self._branch_if_false(stmt.cond, end_label)
+        self._loop_stack.append((cond_label, end_label))
+        self.gen_stmt(stmt.body)
+        self._loop_stack.pop()
+        self.emit("jmp %s" % cond_label)
+        self.emit_label(end_label)
+
+    def gen_for(self, stmt):
+        cond_label = self.new_label("Lfor")
+        step_label = self.new_label("Lstep")
+        end_label = self.new_label("Lend")
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        self.emit_label(cond_label)
+        if stmt.cond is not None:
+            self._branch_if_false(stmt.cond, end_label)
+        self._loop_stack.append((step_label, end_label))
+        self.gen_stmt(stmt.body)
+        self._loop_stack.pop()
+        self.emit_label(step_label)
+        if stmt.step is not None:
+            self.rvalue(stmt.step)
+        self.emit("jmp %s" % cond_label)
+        self.emit_label(end_label)
+
+    # -- expressions: rvalues ------------------------------------------------------
+
+    def rvalue(self, expr):
+        """Emit code leaving the expression's value in eax."""
+        if isinstance(expr, ast.NumberLit):
+            self.emit("mov eax, %d" % expr.value)
+        elif isinstance(expr, ast.Ident):
+            self._ident_rvalue(expr)
+        elif isinstance(expr, ast.UnaryOp):
+            self._unary_rvalue(expr)
+        elif isinstance(expr, ast.BinaryOp):
+            self._binary_rvalue(expr)
+        elif isinstance(expr, ast.Assign):
+            self._assign_rvalue(expr)
+        elif isinstance(expr, ast.IncDec):
+            self._incdec_rvalue(expr)
+        elif isinstance(expr, (ast.Index, ast.Member)):
+            self.lvalue(expr)
+            self._load_scalar(expr.ctype)
+        elif isinstance(expr, ast.Call):
+            self._call_rvalue(expr)
+        elif isinstance(expr, ast.SizeOf):
+            self.emit("mov eax, %d" % expr.value)
+        else:
+            raise MiniCError("codegen: unhandled expression %r" % expr,
+                             line=expr.line)
+
+    def _load_scalar(self, ctype):
+        """After computing an address in eax, load the value if scalar.
+
+        Aggregates (arrays, structs) stay as addresses — that's array
+        decay and struct-by-reference in one rule.
+        """
+        if ctype.is_scalar():
+            self.emit("load eax, [eax]")
+        # arrays/structs: address already in eax
+
+    def _ident_rvalue(self, expr):
+        symbol = expr.symbol
+        if symbol.ctype.is_array() or symbol.ctype.is_struct():
+            self.lvalue(expr)
+            return
+        if symbol.is_global:
+            self.emit("load eax, [%s]" % symbol.label)
+        else:
+            self.emit("load eax, %s" % self._local_ref(symbol))
+
+    def _unary_rvalue(self, expr):
+        op = expr.op
+        if op == "&":
+            self.lvalue(expr.operand)
+            return
+        if op == "*":
+            self.rvalue(expr.operand)  # the pointer value == target address
+            self._load_scalar(expr.ctype)
+            return
+        self.rvalue(expr.operand)
+        if op == "-":
+            self.emit("neg eax")
+        elif op == "~":
+            self.emit("not eax")
+        elif op == "!":
+            self.emit("cmp eax, 0")
+            self.emit("setz eax")
+        else:
+            raise MiniCError("codegen: unhandled unary %r" % op,
+                             line=expr.line)
+
+    def _binary_rvalue(self, expr):
+        op = expr.op
+        if op in ("&&", "||"):
+            self._shortcircuit_rvalue(expr)
+            return
+        # Evaluate left, spill, evaluate right into ecx, restore left.
+        self.rvalue(expr.left)
+        self.emit("push eax")
+        self.rvalue(expr.right)
+        self.emit("mov ecx, eax")
+        self.emit("pop eax")
+
+        if op in _CMP_SIGNED:
+            self._compare_rvalue(expr, op)
+            return
+
+        scale = getattr(expr, "ptr_scale", 0)
+        if op == "+":
+            if scale > 0:
+                self.emit("imul ecx, %d" % scale)
+            elif scale < 0:
+                self.emit("imul eax, %d" % -scale)
+            self.emit("add eax, ecx")
+        elif op == "-":
+            if scale > 0:
+                self.emit("imul ecx, %d" % scale)
+            self.emit("sub eax, ecx")
+            diff = getattr(expr, "ptr_diff_size", 0)
+            if diff:
+                self.emit("mov ecx, %d" % diff)
+                self.emit("idiv ecx")
+        elif op == "*":
+            self.emit("imul eax, ecx")
+        elif op == "/":
+            self.emit("idiv ecx")
+        elif op == "%":
+            self.emit("idiv ecx")
+            self.emit("mov eax, edx")
+        elif op == "&":
+            self.emit("and eax, ecx")
+        elif op == "|":
+            self.emit("or eax, ecx")
+        elif op == "^":
+            self.emit("xor eax, ecx")
+        elif op == "<<":
+            self.emit("shl eax, ecx")
+        elif op == ">>":
+            self.emit("sar eax, ecx")  # C-style arithmetic shift on ints
+        else:
+            raise MiniCError("codegen: unhandled binary %r" % op,
+                             line=expr.line)
+
+    def _compare_rvalue(self, expr, op):
+        self.emit("cmp eax, ecx")
+        unsigned = (expr.left.ctype.decay().is_pointer()
+                    or expr.right.ctype.decay().is_pointer())
+        if unsigned:
+            if op in _CMP_UNSIGNED:
+                self.emit("%s eax" % _CMP_UNSIGNED[op])
+            elif op == "<=":
+                self.emit("seta eax")
+                self.emit("xor eax, 1")
+            else:  # >=
+                self.emit("setb eax")
+                self.emit("xor eax, 1")
+        else:
+            self.emit("%s eax" % _CMP_SIGNED[op])
+
+    def _shortcircuit_rvalue(self, expr):
+        end_label = self.new_label("Lsc")
+        if expr.op == "&&":
+            fail_label = self.new_label("Lfalse")
+            self.rvalue(expr.left)
+            self.emit("cmp eax, 0")
+            self.emit("jz %s" % fail_label)
+            self.rvalue(expr.right)
+            self.emit("cmp eax, 0")
+            self.emit("jz %s" % fail_label)
+            self.emit("mov eax, 1")
+            self.emit("jmp %s" % end_label)
+            self.emit_label(fail_label)
+            self.emit("mov eax, 0")
+            self.emit_label(end_label)
+        else:
+            ok_label = self.new_label("Ltrue")
+            self.rvalue(expr.left)
+            self.emit("cmp eax, 0")
+            self.emit("jnz %s" % ok_label)
+            self.rvalue(expr.right)
+            self.emit("cmp eax, 0")
+            self.emit("jnz %s" % ok_label)
+            self.emit("mov eax, 0")
+            self.emit("jmp %s" % end_label)
+            self.emit_label(ok_label)
+            self.emit("mov eax, 1")
+            self.emit_label(end_label)
+
+    def _assign_rvalue(self, expr):
+        self.lvalue(expr.target)
+        self.emit("push eax")
+        self.rvalue(expr.value)
+        self.emit("pop ecx")
+        if expr.op == "=":
+            self.emit("store [ecx], eax")
+            return
+        base_op = expr.op[:-1]
+        scale = getattr(expr, "ptr_scale", 0)
+        self.emit("mov edx, eax")  # rhs
+        if scale:
+            self.emit("imul edx, %d" % scale)
+        self.emit("load eax, [ecx]")  # current value
+        if base_op == "+":
+            self.emit("add eax, edx")
+        elif base_op == "-":
+            self.emit("sub eax, edx")
+        elif base_op == "*":
+            self.emit("imul eax, edx")
+        elif base_op == "/":
+            self.emit("idiv edx")
+        elif base_op == "%":
+            self.emit("idiv edx")
+            self.emit("mov eax, edx")
+        elif base_op == "&":
+            self.emit("and eax, edx")
+        elif base_op == "|":
+            self.emit("or eax, edx")
+        elif base_op == "^":
+            self.emit("xor eax, edx")
+        elif base_op == "<<":
+            self.emit("shl eax, edx")
+        elif base_op == ">>":
+            self.emit("sar eax, edx")
+        else:
+            raise MiniCError("codegen: unhandled compound %r" % expr.op,
+                             line=expr.line)
+        self.emit("store [ecx], eax")
+
+    def _incdec_rvalue(self, expr):
+        self.lvalue(expr.target)
+        self.emit("mov ecx, eax")
+        self.emit("load eax, [ecx]")  # old value
+        self.emit("mov edx, eax")
+        mnemonic = "add" if expr.op == "++" else "sub"
+        self.emit("%s edx, %d" % (mnemonic, expr.step))
+        self.emit("store [ecx], edx")
+        if not expr.postfix:
+            self.emit("mov eax, edx")
+
+    def _call_rvalue(self, expr):
+        for arg in reversed(expr.args):
+            self.rvalue(arg)
+            self.emit("push eax")
+        self.emit("call %s" % expr.symbol.label)
+        if expr.args:
+            self.emit("add esp, %d" % (4 * len(expr.args)))
+
+    # -- expressions: lvalues -----------------------------------------------------
+
+    def lvalue(self, expr):
+        """Emit code leaving the expression's address in eax."""
+        if isinstance(expr, ast.Ident):
+            symbol = expr.symbol
+            if symbol.is_global:
+                self.emit("mov eax, %s" % symbol.label)
+            else:
+                self.emit("lea eax, %s" % self._local_ref(symbol))
+        elif isinstance(expr, ast.UnaryOp) and expr.op == "*":
+            self.rvalue(expr.operand)
+        elif isinstance(expr, ast.Index):
+            self.rvalue(expr.array)  # decayed base address
+            self.emit("push eax")
+            self.rvalue(expr.index)
+            self.emit("mov ecx, eax")
+            self.emit("pop eax")
+            self.emit("imul ecx, %d" % expr.ctype.size)
+            self.emit("add eax, ecx")
+        elif isinstance(expr, ast.Member):
+            if expr.arrow:
+                self.rvalue(expr.obj)
+            else:
+                self.lvalue(expr.obj)
+            if expr.offset:
+                self.emit("add eax, %d" % expr.offset)
+        else:
+            raise MiniCError("codegen: not an lvalue: %r" % expr,
+                             line=expr.line)
+
+
+def generate(unit, info):
+    """Generate SVM32 assembly text for an analyzed translation unit."""
+    return CodeGenerator(info).generate(unit)

@@ -1,0 +1,73 @@
+"""Lexer for Mini-C."""
+
+import re
+
+from repro.errors import MiniCError
+
+KEYWORDS = frozenset([
+    "int", "void", "struct", "if", "else", "while", "for", "return",
+    "break", "continue", "sizeof",
+])
+
+# Token kinds.
+KW = "kw"
+IDENT = "ident"
+NUMBER = "number"
+OP = "op"
+EOF = "eof"
+
+# Longest operators first so the alternation is greedy-correct.
+_OPERATORS = [
+    "<<=", ">>=",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".",
+]
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<number>[0-9]+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>%s)
+""" % "|".join(re.escape(op) for op in _OPERATORS),
+    re.VERBOSE | re.DOTALL)
+
+
+class Token:
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return "Token(%s, %r, line=%d)" % (self.kind, self.value, self.line)
+
+
+def tokenize(source):
+    """Tokenize Mini-C source into a token list ending with an EOF token."""
+    tokens = []
+    pos = 0
+    line = 1
+    n = len(source)
+    while pos < n:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise MiniCError("unexpected character %r" % source[pos], line=line)
+        text = match.group()
+        if match.lastgroup in ("ws", "comment"):
+            line += text.count("\n")
+        elif match.lastgroup in ("hex", "number"):
+            tokens.append(Token(NUMBER, int(text, 0), line))
+        elif match.lastgroup == "ident":
+            kind = KW if text in KEYWORDS else IDENT
+            tokens.append(Token(kind, text, line))
+        else:
+            tokens.append(Token(OP, text, line))
+        pos = match.end()
+    tokens.append(Token(EOF, None, line))
+    return tokens

@@ -1,0 +1,381 @@
+"""Recursive-descent parser for Mini-C."""
+
+from repro.errors import MiniCError
+from repro.minic import ast
+from repro.minic.lexer import EOF, IDENT, KW, NUMBER, OP, tokenize
+
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                         "<<=", ">>="])
+
+# Binary operator precedence levels, low to high binding strength.
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, source):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self, ahead=0):
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self):
+        tok = self.tokens[self.pos]
+        if tok.kind != EOF:
+            self.pos += 1
+        return tok
+
+    def at_op(self, *ops):
+        tok = self.peek()
+        return tok.kind == OP and tok.value in ops
+
+    def at_kw(self, *kws):
+        tok = self.peek()
+        return tok.kind == KW and tok.value in kws
+
+    def accept_op(self, *ops):
+        if self.at_op(*ops):
+            return self.next()
+        return None
+
+    def expect_op(self, op):
+        tok = self.next()
+        if tok.kind != OP or tok.value != op:
+            raise MiniCError("expected %r, got %r" % (op, tok.value),
+                             line=tok.line)
+        return tok
+
+    def expect_ident(self):
+        tok = self.next()
+        if tok.kind != IDENT:
+            raise MiniCError("expected identifier, got %r" % (tok.value,),
+                             line=tok.line)
+        return tok
+
+    # -- types ----------------------------------------------------------------
+
+    def at_type(self):
+        return self.at_kw("int", "void", "struct")
+
+    def parse_type_prefix(self):
+        """Parse ``int`` / ``void`` / ``struct Name`` plus ``*`` depth."""
+        tok = self.next()
+        if tok.kind != KW or tok.value not in ("int", "void", "struct"):
+            raise MiniCError("expected type, got %r" % (tok.value,),
+                             line=tok.line)
+        if tok.value == "struct":
+            name = self.expect_ident()
+            base = ("struct", name.value)
+        else:
+            base = tok.value
+        depth = 0
+        while self.accept_op("*"):
+            depth += 1
+        return base, depth, tok.line
+
+    def parse_type_spec_after_name(self, base, depth, line):
+        """Parse the optional ``[len]`` suffix after a declarator name."""
+        array_len = None
+        if self.accept_op("["):
+            array_len = self.parse_expression()
+            self.expect_op("]")
+        return ast.TypeSpec(line, base=base, ptr_depth=depth,
+                            array_len=array_len)
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_translation_unit(self):
+        structs = []
+        globals_ = []
+        functions = []
+        while self.peek().kind != EOF:
+            if self.at_kw("struct") and self.peek(2).kind == OP \
+                    and self.peek(2).value == "{":
+                structs.append(self.parse_struct_def())
+                continue
+            base, depth, line = self.parse_type_prefix()
+            name = self.expect_ident()
+            if self.at_op("("):
+                functions.append(self.parse_function(base, depth, line, name))
+            else:
+                globals_.extend(self.parse_global(base, depth, line, name))
+        return ast.TranslationUnit(1, structs=structs, globals=globals_,
+                                   functions=functions)
+
+    def parse_struct_def(self):
+        kw = self.next()  # 'struct'
+        name = self.expect_ident()
+        self.expect_op("{")
+        members = []
+        while not self.at_op("}"):
+            base, depth, line = self.parse_type_prefix()
+            mem_name = self.expect_ident()
+            spec = self.parse_type_spec_after_name(base, depth, line)
+            self.expect_op(";")
+            members.append((spec, mem_name.value))
+        self.expect_op("}")
+        self.expect_op(";")
+        return ast.StructDef(kw.line, name=name.value, members=members)
+
+    def parse_global(self, base, depth, line, name):
+        """Parse one or more comma-separated global declarators."""
+        out = []
+        while True:
+            spec = self.parse_type_spec_after_name(base, depth, line)
+            init = None
+            if self.accept_op("="):
+                init = self.parse_initializer()
+            out.append(ast.GlobalVar(line, type_spec=spec, name=name.value,
+                                     init=init))
+            if self.accept_op(","):
+                while self.accept_op("*"):
+                    depth += 1  # allow `int a, *b;`
+                name = self.expect_ident()
+                continue
+            self.expect_op(";")
+            return out
+
+    def parse_initializer(self):
+        if self.accept_op("{"):
+            values = []
+            while not self.at_op("}"):
+                values.append(self.parse_assignment())
+                if not self.accept_op(","):
+                    break
+            self.expect_op("}")
+            return values
+        return self.parse_assignment()
+
+    def parse_function(self, base, depth, line, name):
+        self.expect_op("(")
+        params = []
+        if not self.at_op(")"):
+            if self.at_kw("void") and self.peek(1).kind == OP \
+                    and self.peek(1).value == ")":
+                self.next()  # f(void)
+            else:
+                while True:
+                    p_base, p_depth, p_line = self.parse_type_prefix()
+                    p_name = self.expect_ident()
+                    spec = self.parse_type_spec_after_name(p_base, p_depth,
+                                                           p_line)
+                    params.append((spec, p_name.value))
+                    if not self.accept_op(","):
+                        break
+        self.expect_op(")")
+        return_type = ast.TypeSpec(line, base=base, ptr_depth=depth,
+                                   array_len=None)
+        body = self.parse_block()
+        return ast.FunctionDef(line, return_type=return_type, name=name.value,
+                               params=params, body=body)
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_block(self):
+        brace = self.expect_op("{")
+        statements = []
+        while not self.at_op("}"):
+            statements.append(self.parse_statement())
+        self.expect_op("}")
+        return ast.Block(brace.line, statements=statements)
+
+    def parse_statement(self):
+        tok = self.peek()
+        if self.at_op("{"):
+            return self.parse_block()
+        if self.at_type():
+            return self.parse_decl_statement()
+        if self.at_kw("if"):
+            return self.parse_if()
+        if self.at_kw("while"):
+            return self.parse_while()
+        if self.at_kw("for"):
+            return self.parse_for()
+        if self.at_kw("return"):
+            self.next()
+            value = None
+            if not self.at_op(";"):
+                value = self.parse_expression()
+            self.expect_op(";")
+            return ast.ReturnStmt(tok.line, value=value)
+        if self.at_kw("break"):
+            self.next()
+            self.expect_op(";")
+            return ast.BreakStmt(tok.line)
+        if self.at_kw("continue"):
+            self.next()
+            self.expect_op(";")
+            return ast.ContinueStmt(tok.line)
+        if self.accept_op(";"):
+            return ast.Block(tok.line, statements=[])
+        expr = self.parse_expression()
+        self.expect_op(";")
+        return ast.ExprStmt(tok.line, expr=expr)
+
+    def parse_decl_statement(self):
+        base, depth, line = self.parse_type_prefix()
+        name = self.expect_ident()
+        spec = self.parse_type_spec_after_name(base, depth, line)
+        init = None
+        if self.accept_op("="):
+            init = self.parse_assignment()
+        self.expect_op(";")
+        return ast.DeclStmt(line, type_spec=spec, name=name.value, init=init)
+
+    def parse_if(self):
+        kw = self.next()
+        self.expect_op("(")
+        cond = self.parse_expression()
+        self.expect_op(")")
+        then_body = self.parse_statement()
+        else_body = None
+        if self.at_kw("else"):
+            self.next()
+            else_body = self.parse_statement()
+        return ast.IfStmt(kw.line, cond=cond, then_body=then_body,
+                          else_body=else_body)
+
+    def parse_while(self):
+        kw = self.next()
+        self.expect_op("(")
+        cond = self.parse_expression()
+        self.expect_op(")")
+        body = self.parse_statement()
+        return ast.WhileStmt(kw.line, cond=cond, body=body)
+
+    def parse_for(self):
+        kw = self.next()
+        self.expect_op("(")
+        init = None
+        if not self.at_op(";"):
+            if self.at_type():
+                init = self.parse_decl_statement()
+            else:
+                expr = self.parse_expression()
+                self.expect_op(";")
+                init = ast.ExprStmt(kw.line, expr=expr)
+        else:
+            self.next()
+        cond = None
+        if not self.at_op(";"):
+            cond = self.parse_expression()
+        self.expect_op(";")
+        step = None
+        if not self.at_op(")"):
+            step = self.parse_expression()
+        self.expect_op(")")
+        body = self.parse_statement()
+        return ast.ForStmt(kw.line, init=init, cond=cond, step=step, body=body)
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expression(self):
+        return self.parse_assignment()
+
+    def parse_assignment(self):
+        left = self.parse_binary(0)
+        tok = self.peek()
+        if tok.kind == OP and tok.value in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assignment()  # right associative
+            return ast.Assign(tok.line, op=tok.value, target=left, value=value)
+        return left
+
+    def parse_binary(self, level):
+        if level >= len(_BINARY_LEVELS):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.at_op(*ops):
+            tok = self.next()
+            right = self.parse_binary(level + 1)
+            left = ast.BinaryOp(tok.line, op=tok.value, left=left, right=right)
+        return left
+
+    def parse_unary(self):
+        tok = self.peek()
+        if tok.kind == OP and tok.value in ("-", "!", "~", "*", "&"):
+            self.next()
+            operand = self.parse_unary()
+            return ast.UnaryOp(tok.line, op=tok.value, operand=operand)
+        if tok.kind == OP and tok.value in ("++", "--"):
+            self.next()
+            target = self.parse_unary()
+            return ast.IncDec(tok.line, op=tok.value, target=target,
+                              postfix=False)
+        if tok.kind == KW and tok.value == "sizeof":
+            self.next()
+            self.expect_op("(")
+            base, depth, line = self.parse_type_prefix()
+            spec = ast.TypeSpec(line, base=base, ptr_depth=depth,
+                                array_len=None)
+            self.expect_op(")")
+            return ast.SizeOf(tok.line, type_spec=spec)
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if self.at_op("["):
+                self.next()
+                index = self.parse_expression()
+                self.expect_op("]")
+                expr = ast.Index(tok.line, array=expr, index=index)
+            elif self.at_op("."):
+                self.next()
+                name = self.expect_ident()
+                expr = ast.Member(tok.line, obj=expr, name=name.value,
+                                  arrow=False)
+            elif self.at_op("->"):
+                self.next()
+                name = self.expect_ident()
+                expr = ast.Member(tok.line, obj=expr, name=name.value,
+                                  arrow=True)
+            elif self.at_op("++", "--"):
+                op_tok = self.next()
+                expr = ast.IncDec(op_tok.line, op=op_tok.value, target=expr,
+                                  postfix=True)
+            else:
+                return expr
+
+    def parse_primary(self):
+        tok = self.next()
+        if tok.kind == NUMBER:
+            return ast.NumberLit(tok.line, value=tok.value)
+        if tok.kind == IDENT:
+            if self.at_op("("):
+                self.next()
+                args = []
+                if not self.at_op(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept_op(","):
+                            break
+                self.expect_op(")")
+                return ast.Call(tok.line, name=tok.value, args=args)
+            return ast.Ident(tok.line, name=tok.value)
+        if tok.kind == OP and tok.value == "(":
+            expr = self.parse_expression()
+            self.expect_op(")")
+            return expr
+        raise MiniCError("unexpected token %r" % (tok.value,), line=tok.line)
+
+
+def parse(source):
+    """Parse Mini-C source into a :class:`repro.minic.ast.TranslationUnit`."""
+    return Parser(source).parse_translation_unit()

@@ -1,0 +1,530 @@
+"""Semantic analysis for Mini-C.
+
+Builds the struct and symbol tables, resolves every type spec, assigns
+stack-frame offsets, and annotates each expression node with its
+:mod:`repro.minic.types` type. Codegen runs on the annotated AST and
+performs no checking of its own.
+
+Annotations set on nodes:
+
+* every expression node: ``ctype``
+* ``Ident``: ``symbol`` (a :class:`GlobalSymbol` or :class:`LocalSymbol`)
+* ``Call``: ``symbol`` (:class:`FunctionSymbol`)
+* ``Member``: ``offset`` and ``member_type``
+* ``BinaryOp``/``Assign``/``IncDec``: ``ptr_scale`` when pointer
+  arithmetic needs operand scaling (0 when not)
+* ``SizeOf``: ``value``
+"""
+
+from repro.errors import MiniCError
+from repro.minic import ast
+from repro.minic.types import (
+    INT,
+    VOID,
+    ArrayType,
+    PtrType,
+    StructType,
+    WORD,
+    assignable,
+)
+
+
+class GlobalSymbol:
+    """A global variable: label in the data segment plus initializer."""
+
+    __slots__ = ("name", "ctype", "label", "init_words")
+
+    def __init__(self, name, ctype, label, init_words):
+        self.name = name
+        self.ctype = ctype
+        self.label = label
+        self.init_words = init_words  # list of 32-bit ints, or None for zeros
+
+    @property
+    def is_global(self):
+        return True
+
+
+class LocalSymbol:
+    """A local variable or parameter at a fixed EBP-relative offset."""
+
+    __slots__ = ("name", "ctype", "ebp_offset")
+
+    def __init__(self, name, ctype, ebp_offset):
+        self.name = name
+        self.ctype = ctype
+        self.ebp_offset = ebp_offset
+
+    @property
+    def is_global(self):
+        return False
+
+
+class FunctionSymbol:
+    __slots__ = ("name", "return_type", "param_types", "label")
+
+    def __init__(self, name, return_type, param_types):
+        self.name = name
+        self.return_type = return_type
+        self.param_types = param_types
+        self.label = "fn_%s" % name
+
+
+class SemanticInfo:
+    """Result of analysis: tables consumed by the code generator."""
+
+    def __init__(self):
+        self.structs = {}
+        self.globals = {}  # name -> GlobalSymbol, in declaration order
+        self.functions = {}  # name -> FunctionSymbol
+        self.frame_sizes = {}  # function name -> bytes of locals
+
+
+class Analyzer:
+    def __init__(self):
+        self.info = SemanticInfo()
+        self._scopes = []
+        self._current_fn = None
+        self._frame_bytes = 0
+        self._loop_depth = 0
+
+    # -- types ------------------------------------------------------------
+
+    def resolve_type(self, spec, allow_void=False, allow_array=True):
+        if spec.base == "int":
+            base = INT
+        elif spec.base == "void":
+            base = VOID
+        else:
+            __, name = spec.base
+            struct = self.info.structs.get(name)
+            if struct is None:
+                raise MiniCError("unknown struct %r" % name, line=spec.line)
+            base = struct
+        ctype = base
+        for __ in range(spec.ptr_depth):
+            ctype = PtrType(ctype)
+        if spec.array_len is not None:
+            if not allow_array:
+                raise MiniCError("array not allowed here", line=spec.line)
+            length = self.const_eval(spec.array_len)
+            ctype = ArrayType(ctype, length)
+        if ctype.is_void() and not allow_void:
+            raise MiniCError("void is not a value type", line=spec.line)
+        if ctype.is_struct() and not ctype.complete:
+            raise MiniCError("struct %s is incomplete" % ctype.name,
+                             line=spec.line)
+        return ctype
+
+    def const_eval(self, expr):
+        """Evaluate a compile-time constant integer expression."""
+        if isinstance(expr, ast.NumberLit):
+            return expr.value
+        if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+            return -self.const_eval(expr.operand)
+        if isinstance(expr, ast.BinaryOp):
+            left = self.const_eval(expr.left)
+            right = self.const_eval(expr.right)
+            ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+                   "*": lambda a, b: a * b, "/": lambda a, b: a // b,
+                   "%": lambda a, b: a % b, "<<": lambda a, b: a << b,
+                   ">>": lambda a, b: a >> b}
+            if expr.op in ops:
+                return ops[expr.op](left, right)
+        if isinstance(expr, ast.SizeOf):
+            return self.resolve_type(expr.type_spec).size
+        raise MiniCError("expression is not a compile-time constant",
+                         line=expr.line)
+
+    # -- scopes ---------------------------------------------------------------
+
+    def push_scope(self):
+        self._scopes.append({})
+
+    def pop_scope(self):
+        self._scopes.pop()
+
+    def declare_local(self, name, ctype, line, ebp_offset=None):
+        scope = self._scopes[-1]
+        if name in scope:
+            raise MiniCError("redeclaration of %r" % name, line=line)
+        if ebp_offset is None:
+            size = (ctype.size + WORD - 1) // WORD * WORD
+            self._frame_bytes += size
+            ebp_offset = -self._frame_bytes
+        symbol = LocalSymbol(name, ctype, ebp_offset)
+        scope[name] = symbol
+        return symbol
+
+    def lookup(self, name, line):
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.info.globals:
+            return self.info.globals[name]
+        raise MiniCError("undeclared identifier %r" % name, line=line)
+
+    # -- top level ----------------------------------------------------------------
+
+    def analyze(self, unit):
+        for struct_def in unit.structs:
+            self._declare_struct(struct_def)
+        for global_var in unit.globals:
+            self._declare_global(global_var)
+        for fn in unit.functions:
+            self._declare_function(fn)
+        if "main" not in self.info.functions:
+            raise MiniCError("program has no main() function")
+        for fn in unit.functions:
+            self._analyze_function(fn)
+        return self.info
+
+    def _declare_struct(self, struct_def):
+        if struct_def.name in self.info.structs:
+            raise MiniCError("redefinition of struct %r" % struct_def.name,
+                             line=struct_def.line)
+        struct = StructType(struct_def.name)
+        # Register before members so self-referential pointers resolve.
+        self.info.structs[struct_def.name] = struct
+        for spec, name in struct_def.members:
+            member_type = self.resolve_type(spec)
+            if member_type.is_struct() and not member_type.complete:
+                raise MiniCError(
+                    "struct member of incomplete type", line=spec.line)
+            struct.add_member(name, member_type)
+        struct.finish()
+
+    def _declare_global(self, global_var):
+        name = global_var.name
+        if name in self.info.globals:
+            raise MiniCError("redefinition of global %r" % name,
+                             line=global_var.line)
+        ctype = self.resolve_type(global_var.type_spec)
+        init_words = None
+        if global_var.init is not None:
+            init_words = self._global_init_words(ctype, global_var.init,
+                                                 global_var.line)
+        self.info.globals[name] = GlobalSymbol(name, ctype, "g_%s" % name,
+                                               init_words)
+
+    def _global_init_words(self, ctype, init, line):
+        if isinstance(init, list):
+            if not ctype.is_array():
+                raise MiniCError("brace initializer on non-array", line=line)
+            if not ctype.elem.is_scalar():
+                raise MiniCError("initializer on non-scalar array", line=line)
+            if len(init) > ctype.length:
+                raise MiniCError("too many initializer values", line=line)
+            words = [self.const_eval(e) for e in init]
+            words.extend([0] * (ctype.length - len(words)))
+            return words
+        if not ctype.is_scalar():
+            raise MiniCError("scalar initializer on aggregate", line=line)
+        return [self.const_eval(init)]
+
+    def _declare_function(self, fn):
+        if fn.name in self.info.functions:
+            raise MiniCError("redefinition of function %r" % fn.name,
+                             line=fn.line)
+        if fn.name in self.info.globals:
+            raise MiniCError("%r is already a global" % fn.name, line=fn.line)
+        return_type = self.resolve_type(fn.return_type, allow_void=True,
+                                        allow_array=False)
+        if not (return_type.is_void() or return_type.is_scalar()):
+            raise MiniCError("functions must return void or a scalar",
+                             line=fn.line)
+        param_types = []
+        for spec, name in fn.params:
+            ptype = self.resolve_type(spec, allow_array=False)
+            if not ptype.is_scalar():
+                raise MiniCError("parameter %r must be scalar" % name,
+                                 line=spec.line)
+            param_types.append(ptype)
+        self.info.functions[fn.name] = FunctionSymbol(fn.name, return_type,
+                                                      param_types)
+
+    def _analyze_function(self, fn):
+        symbol = self.info.functions[fn.name]
+        self._current_fn = symbol
+        self._frame_bytes = 0
+        self.push_scope()
+        # Parameters live above the saved EBP and return address.
+        for i, (spec, name) in enumerate(fn.params):
+            self.declare_local(name, symbol.param_types[i], spec.line,
+                               ebp_offset=8 + 4 * i)
+        self._analyze_block(fn.body)
+        self.pop_scope()
+        self.info.frame_sizes[fn.name] = self._frame_bytes
+        self._current_fn = None
+
+    # -- statements -------------------------------------------------------------
+
+    def _analyze_block(self, block):
+        self.push_scope()
+        for stmt in block.statements:
+            self._analyze_stmt(stmt)
+        self.pop_scope()
+
+    def _analyze_stmt(self, stmt):
+        if isinstance(stmt, ast.Block):
+            self._analyze_block(stmt)
+        elif isinstance(stmt, ast.DeclStmt):
+            ctype = self.resolve_type(stmt.type_spec)
+            if ctype.is_struct():
+                raise MiniCError(
+                    "local struct variables are not supported; use a "
+                    "global pool", line=stmt.line)
+            if ctype.is_array() and not ctype.elem.is_scalar():
+                raise MiniCError("local arrays must have scalar elements",
+                                 line=stmt.line)
+            symbol = self.declare_local(stmt.name, ctype, stmt.line)
+            stmt.symbol = symbol
+            if stmt.init is not None:
+                if ctype.is_array():
+                    raise MiniCError("local arrays cannot be initialized",
+                                     line=stmt.line)
+                init_type = self._analyze_expr(stmt.init)
+                if not assignable(ctype, init_type):
+                    raise MiniCError(
+                        "cannot initialize %s with %s" % (ctype, init_type),
+                        line=stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._analyze_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self._require_scalar(stmt.cond)
+            self._analyze_stmt(stmt.then_body)
+            if stmt.else_body is not None:
+                self._analyze_stmt(stmt.else_body)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._require_scalar(stmt.cond)
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.ForStmt):
+            self.push_scope()
+            if stmt.init is not None:
+                self._analyze_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._require_scalar(stmt.cond)
+            if stmt.step is not None:
+                self._analyze_expr(stmt.step)
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body)
+            self._loop_depth -= 1
+            self.pop_scope()
+        elif isinstance(stmt, ast.ReturnStmt):
+            want = self._current_fn.return_type
+            if stmt.value is None:
+                if not want.is_void():
+                    raise MiniCError("missing return value", line=stmt.line)
+            else:
+                if want.is_void():
+                    raise MiniCError("void function returns a value",
+                                     line=stmt.line)
+                got = self._analyze_expr(stmt.value)
+                if not assignable(want, got):
+                    raise MiniCError("cannot return %s as %s" % (got, want),
+                                     line=stmt.line)
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            if self._loop_depth == 0:
+                raise MiniCError("break/continue outside a loop",
+                                 line=stmt.line)
+        else:
+            raise MiniCError("unhandled statement %r" % stmt, line=stmt.line)
+
+    def _require_scalar(self, expr):
+        ctype = self._analyze_expr(expr).decay()
+        if not ctype.is_scalar():
+            raise MiniCError("condition must be scalar, got %s" % ctype,
+                             line=expr.line)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _analyze_expr(self, expr):
+        ctype = self._expr_type(expr)
+        expr.ctype = ctype
+        return ctype
+
+    def _expr_type(self, expr):
+        if isinstance(expr, ast.NumberLit):
+            return INT
+        if isinstance(expr, ast.Ident):
+            symbol = self.lookup(expr.name, expr.line)
+            expr.symbol = symbol
+            return symbol.ctype
+        if isinstance(expr, ast.UnaryOp):
+            return self._unary_type(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary_type(expr)
+        if isinstance(expr, ast.Assign):
+            return self._assign_type(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._incdec_type(expr)
+        if isinstance(expr, ast.Index):
+            base = self._analyze_expr(expr.array).decay()
+            index = self._analyze_expr(expr.index).decay()
+            if not base.is_pointer():
+                raise MiniCError("cannot index %s" % base, line=expr.line)
+            if not index.is_int():
+                raise MiniCError("array index must be int", line=expr.line)
+            return base.pointee
+        if isinstance(expr, ast.Member):
+            return self._member_type(expr)
+        if isinstance(expr, ast.Call):
+            return self._call_type(expr)
+        if isinstance(expr, ast.SizeOf):
+            expr.value = self.resolve_type(expr.type_spec).size
+            return INT
+        raise MiniCError("unhandled expression %r" % expr, line=expr.line)
+
+    def _unary_type(self, expr):
+        operand = self._analyze_expr(expr.operand)
+        op = expr.op
+        if op in ("-", "!", "~"):
+            if not operand.decay().is_scalar():
+                raise MiniCError("unary %s needs a scalar" % op,
+                                 line=expr.line)
+            return INT
+        if op == "*":
+            decayed = operand.decay()
+            if not decayed.is_pointer():
+                raise MiniCError("cannot dereference %s" % operand,
+                                 line=expr.line)
+            return decayed.pointee
+        if op == "&":
+            if not self._is_lvalue(expr.operand):
+                raise MiniCError("cannot take address of rvalue",
+                                 line=expr.line)
+            if operand.is_array():
+                return PtrType(operand.elem)
+            return PtrType(operand)
+        raise MiniCError("unhandled unary %r" % op, line=expr.line)
+
+    def _binary_type(self, expr):
+        left = self._analyze_expr(expr.left).decay()
+        right = self._analyze_expr(expr.right).decay()
+        op = expr.op
+        expr.ptr_scale = 0
+        expr.ptr_diff_size = 0
+        if op in ("&&", "||"):
+            if not (left.is_scalar() and right.is_scalar()):
+                raise MiniCError("%s needs scalars" % op, line=expr.line)
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if not (left.is_scalar() and right.is_scalar()):
+                raise MiniCError("%s needs scalars" % op, line=expr.line)
+            return INT
+        if op == "+":
+            if left.is_pointer() and right.is_int():
+                expr.ptr_scale = left.pointee.size
+                return left
+            if left.is_int() and right.is_pointer():
+                expr.ptr_scale = -right.pointee.size  # negative: scale left
+                return right
+            if left.is_int() and right.is_int():
+                return INT
+            raise MiniCError("invalid operands to +", line=expr.line)
+        if op == "-":
+            if left.is_pointer() and right.is_int():
+                expr.ptr_scale = left.pointee.size
+                return left
+            if left.is_pointer() and right.is_pointer():
+                if left != right:
+                    raise MiniCError("pointer difference of distinct types",
+                                     line=expr.line)
+                expr.ptr_diff_size = left.pointee.size
+                return INT
+            if left.is_int() and right.is_int():
+                return INT
+            raise MiniCError("invalid operands to -", line=expr.line)
+        # Remaining: * / % << >> & | ^ — integers only.
+        if not (left.is_int() and right.is_int()):
+            raise MiniCError("%s needs int operands" % op, line=expr.line)
+        return INT
+
+    def _assign_type(self, expr):
+        target = self._analyze_expr(expr.target)
+        value = self._analyze_expr(expr.value).decay()
+        if not self._is_lvalue(expr.target):
+            raise MiniCError("assignment target is not an lvalue",
+                             line=expr.line)
+        if target.is_array() or target.is_struct():
+            raise MiniCError("cannot assign aggregates", line=expr.line)
+        expr.ptr_scale = 0
+        if expr.op == "=":
+            if not assignable(target, value):
+                raise MiniCError("cannot assign %s to %s" % (value, target),
+                                 line=expr.line)
+            return target
+        # Compound assignment.
+        base_op = expr.op[:-1]
+        if target.is_pointer():
+            if base_op not in ("+", "-") or not value.is_int():
+                raise MiniCError("invalid compound assignment on pointer",
+                                 line=expr.line)
+            expr.ptr_scale = target.pointee.size
+            return target
+        if not (target.is_int() and value.is_int()):
+            raise MiniCError("compound assignment needs ints", line=expr.line)
+        return target
+
+    def _incdec_type(self, expr):
+        target = self._analyze_expr(expr.target)
+        if not self._is_lvalue(expr.target):
+            raise MiniCError("++/-- target is not an lvalue", line=expr.line)
+        if target.is_pointer():
+            expr.step = target.pointee.size
+            return target
+        if target.is_int():
+            expr.step = 1
+            return target
+        raise MiniCError("++/-- needs int or pointer", line=expr.line)
+
+    def _member_type(self, expr):
+        obj = self._analyze_expr(expr.obj)
+        if expr.arrow:
+            decayed = obj.decay()
+            if not (decayed.is_pointer() and decayed.pointee.is_struct()):
+                raise MiniCError("-> on non-struct-pointer %s" % obj,
+                                 line=expr.line)
+            struct = decayed.pointee
+        else:
+            if not obj.is_struct():
+                raise MiniCError(". on non-struct %s" % obj, line=expr.line)
+            struct = obj
+        offset, member_type = struct.member(expr.name, line=expr.line)
+        expr.offset = offset
+        expr.member_type = member_type
+        return member_type
+
+    def _call_type(self, expr):
+        fn = self.info.functions.get(expr.name)
+        if fn is None:
+            raise MiniCError("call to undefined function %r" % expr.name,
+                             line=expr.line)
+        if len(expr.args) != len(fn.param_types):
+            raise MiniCError(
+                "%s() takes %d argument(s), got %d"
+                % (expr.name, len(fn.param_types), len(expr.args)),
+                line=expr.line)
+        for arg, want in zip(expr.args, fn.param_types):
+            got = self._analyze_expr(arg).decay()
+            if not assignable(want, got):
+                raise MiniCError("argument type %s does not match %s"
+                                 % (got, want), line=expr.line)
+        expr.symbol = fn
+        return fn.return_type
+
+    def _is_lvalue(self, expr):
+        if isinstance(expr, ast.Ident):
+            return True
+        if isinstance(expr, ast.UnaryOp) and expr.op == "*":
+            return True
+        if isinstance(expr, (ast.Index, ast.Member)):
+            return True
+        return False
+
+
+def analyze(unit):
+    """Run semantic analysis, returning a :class:`SemanticInfo`."""
+    return Analyzer().analyze(unit)

@@ -1,0 +1,169 @@
+"""Mini-C type objects.
+
+Everything is 4-byte based: ``int`` is a 32-bit signed word, pointers are
+32-bit addresses, arrays and structs are contiguous word-multiples. The
+uniform word size keeps codegen and the state-vector word predictors
+(which interpret 32-bit quantities) aligned with each other.
+"""
+
+from repro.errors import MiniCError
+
+WORD = 4
+
+
+class CType:
+    """Base class for Mini-C types."""
+
+    size = 0
+
+    def is_int(self):
+        return isinstance(self, IntType)
+
+    def is_pointer(self):
+        return isinstance(self, PtrType)
+
+    def is_array(self):
+        return isinstance(self, ArrayType)
+
+    def is_struct(self):
+        return isinstance(self, StructType)
+
+    def is_void(self):
+        return isinstance(self, VoidType)
+
+    def is_scalar(self):
+        """Types that fit a register: int or pointer."""
+        return self.is_int() or self.is_pointer()
+
+    def decay(self):
+        """Array-to-pointer decay; identity for other types."""
+        if isinstance(self, ArrayType):
+            return PtrType(self.elem)
+        return self
+
+
+class VoidType(CType):
+    size = 0
+
+    def __eq__(self, other):
+        return isinstance(other, VoidType)
+
+    def __hash__(self):
+        return hash("void")
+
+    def __str__(self):
+        return "void"
+
+
+class IntType(CType):
+    size = WORD
+
+    def __eq__(self, other):
+        return isinstance(other, IntType)
+
+    def __hash__(self):
+        return hash("int")
+
+    def __str__(self):
+        return "int"
+
+
+class PtrType(CType):
+    size = WORD
+
+    def __init__(self, pointee):
+        self.pointee = pointee
+
+    def __eq__(self, other):
+        return isinstance(other, PtrType) and self.pointee == other.pointee
+
+    def __hash__(self):
+        return hash(("ptr", self.pointee))
+
+    def __str__(self):
+        return "%s*" % self.pointee
+
+
+class ArrayType(CType):
+    def __init__(self, elem, length):
+        if length <= 0:
+            raise MiniCError("array length must be positive, got %d" % length)
+        self.elem = elem
+        self.length = length
+        self.size = elem.size * length
+
+    def __eq__(self, other):
+        return (isinstance(other, ArrayType) and self.elem == other.elem
+                and self.length == other.length)
+
+    def __hash__(self):
+        return hash(("array", self.elem, self.length))
+
+    def __str__(self):
+        return "%s[%d]" % (self.elem, self.length)
+
+
+class StructType(CType):
+    def __init__(self, name):
+        self.name = name
+        self.members = {}  # name -> (offset, CType)
+        self.member_order = []
+        self.size = 0
+        self.complete = False
+
+    def add_member(self, name, ctype):
+        if self.complete:
+            raise MiniCError("struct %s is already complete" % self.name)
+        if name in self.members:
+            raise MiniCError("duplicate member %r in struct %s"
+                             % (name, self.name))
+        if ctype.size % WORD:
+            raise MiniCError("member %r has non-word size" % name)
+        self.members[name] = (self.size, ctype)
+        self.member_order.append(name)
+        self.size += ctype.size
+
+    def finish(self):
+        if not self.member_order:
+            raise MiniCError("struct %s has no members" % self.name)
+        self.complete = True
+
+    def member(self, name, line=None):
+        try:
+            return self.members[name]
+        except KeyError:
+            raise MiniCError("struct %s has no member %r" % (self.name, name),
+                             line=line)
+
+    def __eq__(self, other):
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("struct", self.name))
+
+    def __str__(self):
+        return "struct %s" % self.name
+
+
+#: Shared singletons for the fixed types.
+INT = IntType()
+VOID = VoidType()
+
+
+def assignable(target, value):
+    """Can a value of type ``value`` be stored into ``target``?
+
+    Ints to ints, identical pointers, and int-to-pointer (for NULL-style
+    literals; Mini-C does not distinguish 0 constants from ints).
+    """
+    target = target.decay()
+    value = value.decay()
+    if target.is_int() and value.is_int():
+        return True
+    if target.is_pointer() and value.is_pointer():
+        return target == value
+    if target.is_pointer() and value.is_int():
+        return True  # numeric addresses / NULL
+    if target.is_int() and value.is_pointer():
+        return True  # pointer-to-int for hashing tricks
+    return False

@@ -1,0 +1,58 @@
+"""Shared fixtures: small compiled programs used across test modules."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.minic import compile_source
+
+
+@pytest.fixture(scope="session")
+def counting_program():
+    """Tight counted loop: eax ends at 10, result stored to memory."""
+    return assemble("""
+        .entry start
+        start:
+            mov eax, 0
+        loop:
+            inc eax
+            cmp eax, 10
+            jl loop
+            store [result], eax
+            hlt
+        .data
+        result: .word 0
+    """, name="counting")
+
+
+@pytest.fixture(scope="session")
+def sum_to_n_source():
+    return """
+    int result;
+    int main() {
+        int i;
+        int total = 0;
+        for (i = 1; i <= 100; i++) {
+            total += i;
+        }
+        result = total;
+        return total;
+    }
+    """
+
+
+@pytest.fixture(scope="session")
+def sum_program(sum_to_n_source):
+    return compile_source(sum_to_n_source, name="sum100")
+
+
+def run_minic(source, max_instructions=2_000_000, globals_to_read=()):
+    """Compile, run to halt, and return requested global values."""
+    program = compile_source(source, name="t")
+    machine = program.make_machine()
+    machine.run(max_instructions=max_instructions)
+    assert machine.halted, "program did not halt"
+    values = {}
+    for name in globals_to_read:
+        values[name] = machine.state.read_i32(program.symbol("g_" + name))
+    values["__return"] = machine.state.get_reg_signed(0)
+    return values

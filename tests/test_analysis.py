@@ -1,0 +1,140 @@
+"""Analysis drivers: tables, scaling sweeps, weights, reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ExperimentContext,
+    format_series,
+    format_table,
+    make_table1,
+    make_table2,
+    make_weight_matrix,
+    memoization_curve,
+    scaling_sweep,
+)
+from repro.analysis.scaling import ideal_series
+from repro.analysis.training import train_on_boundaries
+from repro.analysis.weights import render_weight_matrix
+from repro.bench import build_collatz, build_ising
+
+
+@pytest.fixture(scope="module")
+def small_context():
+    return ExperimentContext(build_ising(nodes=96, spins=6))
+
+
+@pytest.fixture(scope="module")
+def small_training(small_context):
+    return train_on_boundaries(small_context, max_boundaries=80)
+
+
+class TestTraining:
+    def test_boundaries_and_queries(self, small_training):
+        assert small_training.boundaries > 20
+        assert small_training.mean_query_bits > 0
+        assert small_training.relevant_bits
+
+    def test_prediction_stats_meaningful(self, small_training):
+        pstats = small_training.prediction_stats
+        relevant = small_training.relevant_bits
+        actual = pstats.actual_error_rate(relevant)
+        equal = pstats.equal_weight_error_rate(relevant)
+        hindsight = pstats.hindsight_error_rate(relevant)
+        # Table 2's shape: RWMA near hindsight-optimal, equal-weight bad.
+        assert hindsight <= actual + 0.15
+        assert equal >= actual
+
+
+class TestTables:
+    def test_table1_rows(self, small_context, small_training):
+        rows = make_table1({"ising": small_context},
+                           training={"ising": small_training})
+        row = rows["ising"]
+        assert row["total_instructions"] \
+            == small_context.record.total_instructions
+        assert row["average_jump"] > 0
+        assert row["state_vector_bits"] \
+            == small_context.workload.program.layout.n_bits
+        assert 0 < row["cache_query_bits"] < row["state_vector_bits"]
+        assert row["lines_of_code"] > 10
+        assert row["unique_ip_values"] > 10
+
+    def test_table2_rows(self, small_context, small_training):
+        rows = make_table2({"ising": small_context},
+                           training={"ising": small_training})
+        row = rows["ising"]
+        assert 0.0 <= row["actual_error_rate"] <= 1.0
+        assert row["equal_weight_error_rate"] >= row["actual_error_rate"]
+        assert row["total_predictions"] > 10
+        assert 0.0 <= row["cache_miss_rate_32_cores"] <= 1.0
+
+
+class TestScalingSweep:
+    def test_sweep_shares_work(self, small_context):
+        points = scaling_sweep(small_context, [2, 8, 16],
+                               collect_prediction_stats=False)
+        assert [p.n_cores for p in points] == [2, 8, 16]
+        assert points[2].scaling > points[0].scaling
+        # The shared memo means later points reuse speculation.
+        assert points[2].result.stats.speculations_reused > 0
+
+    def test_oracle_and_cycle_count_variants(self, small_context):
+        lasc = scaling_sweep(small_context, [16],
+                             collect_prediction_stats=False)[0]
+        oracle = scaling_sweep(small_context, [16], oracle=True)[0]
+        cycle = scaling_sweep(small_context, [16], cycle_count=True,
+                              collect_prediction_stats=False)[0]
+        assert oracle.scaling >= lasc.scaling * 0.95
+        assert cycle.scaling >= lasc.scaling * 0.98
+
+    def test_bluegene_platform(self, small_context):
+        point = scaling_sweep(small_context, [64], platform="bluegene_p",
+                              collect_prediction_stats=False)[0]
+        assert point.scaling > 1.0
+
+    def test_ideal_series(self):
+        points = ideal_series([1, 2, 4])
+        assert [p.scaling for p in points] == [1.0, 2.0, 4.0]
+
+
+class TestMemoizationCurve:
+    def test_collatz_curve_shape(self):
+        context = ExperimentContext(build_collatz(count=200, memoize=True),
+                                    memoization=True)
+        result = memoization_curve(context)
+        assert result.stats.hits > 0
+        assert result.scaling > 1.0
+        assert result.timeline[-1].scaling > result.timeline[0].scaling
+
+
+class TestWeights:
+    def test_matrix_normalized_by_algorithm(self, small_training):
+        matrix, algorithms = make_weight_matrix(small_training)
+        assert algorithms == ["mean", "weatherman", "logistic", "linreg"]
+        assert matrix.shape[0] == 4
+        sums = matrix.sum(axis=0)
+        assert np.allclose(sums, 1.0)
+
+    def test_render(self, small_training):
+        matrix, algorithms = make_weight_matrix(small_training)
+        text = render_weight_matrix(matrix, algorithms)
+        assert "linreg" in text
+        assert text.count("\n") == 3
+
+
+class TestReport:
+    def test_format_table(self):
+        rows = {"ising": {"a": 1, "b": 2.5}, "2mm": {"a": 10, "b": 0.25}}
+        text = format_table(rows, title="T")
+        assert "ising" in text and "2mm" in text
+        assert "2.5" in text and "0.25" in text
+
+    def test_format_series(self):
+        series = {
+            "ideal": ideal_series([1, 2]),
+            "lasc": ideal_series([2]),
+        }
+        text = format_series(series)
+        assert "ideal" in text and "lasc" in text
+        assert "-" in text  # missing point rendered as dash

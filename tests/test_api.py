@@ -1,0 +1,26 @@
+"""Public API surface: the names README and examples rely on."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_public_names_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_compile_and_run_via_public_api():
+    program = repro.compile_source(
+        "int main() { return 21 * 2; }", name="tiny")
+    result = repro.run_sequential(program)
+    assert result.halted
+
+
+def test_assemble_via_public_api():
+    program = repro.assemble(".entry start\nstart:\n mov eax, 7\n hlt\n")
+    machine = program.make_machine()
+    machine.run(max_instructions=10)
+    assert machine.state.get_reg(0) == 7

@@ -1,0 +1,157 @@
+"""Assembler: lexing, parsing, two-pass assembly, disassembly."""
+
+import pytest
+
+from repro.asm import assemble, disassemble, disassemble_program
+from repro.asm.lexer import tokenize_line, IDENT, INT, PUNCT, REG
+from repro.errors import AssemblerError
+from repro.isa import INSTRUCTION_SIZE, Instruction, Op
+
+
+class TestLexer:
+    def test_kinds(self):
+        tokens = tokenize_line("mov eax, 0x10 ; comment", 1)
+        assert [t.kind for t in tokens] == [IDENT, REG, PUNCT, INT]
+        assert tokens[3].value == 16
+
+    def test_hash_comment(self):
+        assert tokenize_line("# only a comment", 1) == []
+
+    def test_bad_character(self):
+        with pytest.raises(AssemblerError):
+            tokenize_line("mov eax, @", 1)
+
+    def test_label_with_dots(self):
+        tokens = tokenize_line("Lret1.x:", 1)
+        assert tokens[0].kind == IDENT
+
+
+class TestAssembly:
+    def test_code_size(self):
+        program = assemble("nop\nnop\nhlt\n")
+        assert len(program.code) == 3 * INSTRUCTION_SIZE
+
+    def test_label_resolution_forward_and_back(self):
+        program = assemble("""
+        top:
+            jmp bottom
+        bottom:
+            jmp top
+            hlt
+        """)
+        instrs = [i for __, i in disassemble(program.code,
+                                             program.code_base)]
+        assert instrs[0].imm == program.symbol("bottom")
+        assert instrs[1].imm == program.symbol("top")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\n nop\na:\n hlt\n")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate eax\n")
+
+    def test_wrong_operands_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("mov 5, eax\n")
+        with pytest.raises(AssemblerError):
+            assemble("inc 5\n")
+
+    def test_instruction_in_data_segment_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nnop\n")
+
+    def test_entry_defaults(self):
+        # Explicit .entry wins; then a 'start' label; then code base.
+        p1 = assemble(".entry here\nnop\nhere:\nhlt\n")
+        assert p1.entry == p1.symbol("here")
+        p2 = assemble("nop\nstart:\nhlt\n")
+        assert p2.entry == p2.symbol("start")
+        p3 = assemble("nop\nhlt\n")
+        assert p3.entry == p3.code_base
+
+    def test_data_directives(self):
+        program = assemble("""
+            hlt
+        .data
+        words: .word 1, -1, label_value
+        bytes: .byte 1, 2, 255
+        gap:   .space 3
+        aligned: .align 8
+        label_value: .word 7
+        """)
+        state = program.initial_state()
+        base = program.symbol("words")
+        assert state.read_i32(base) == 1
+        assert state.read_i32(base + 4) == -1
+        assert state.read_u32(base + 8) == program.symbol("label_value")
+        assert state.read_u8(program.symbol("bytes") + 2) == 255
+        assert program.symbol("label_value") % 8 == 0
+
+    def test_align_in_code_pads(self):
+        program = assemble("nop\n.align 32\ntarget:\nhlt\n")
+        assert program.symbol("target") % 32 == 0
+
+    def test_symbol_arithmetic_in_operand(self):
+        program = assemble("""
+            mov eax, arr+8
+            hlt
+        .data
+        arr: .word 1, 2, 3
+        """)
+        instr = Instruction.decode(program.code, 0)
+        assert instr.imm == program.symbol("arr") + 8
+
+    def test_memory_operand_forms(self):
+        program = assemble("""
+            load eax, [100]
+            load eax, [ebx]
+            load eax, [ebx+8]
+            load eax, [ebx+esi]
+            load eax, [ebx+esi*2]
+            load eax, [ebx+esi*4-12]
+            store [ebx+4], eax
+            hlt
+        """)
+        instrs = [i for __, i in disassemble(program.code)]
+        assert instrs[0].mem.disp == 100
+        assert instrs[5].mem.scale == 4
+        assert instrs[5].mem.disp == -12
+        assert instrs[6].op == Op.STORE
+
+    def test_index_without_base_in_asm_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("load eax, [esi*4]\nhlt\n")
+
+    def test_source_line_count_uses_original_source(self):
+        program = assemble("nop\nhlt\n", source_for_loc="int main() {}\n")
+        assert program.source_line_count == 1
+
+
+class TestDisassembler:
+    def test_roundtrip_through_text(self):
+        source = """
+        .entry start
+        start:
+            mov eax, 5
+            add eax, -3
+            store [value], eax
+            hlt
+        .data
+        value: .word 0
+        """
+        program = assemble(source)
+        listing = disassemble_program(program)
+        assert "mov eax, 5" in listing
+        assert "start:" in listing
+        assert "store [" in listing
+
+    def test_partial_instruction_rejected(self):
+        from repro.errors import EncodingError
+        with pytest.raises(EncodingError):
+            disassemble(b"\x00" * 9)

@@ -1,0 +1,85 @@
+"""Benchmark programs compute the right answers (no ASC involved)."""
+
+import pytest
+
+from repro.bench import build_collatz, build_ising, build_mm2
+
+
+def run_program(program, limit=20_000_000):
+    machine = program.make_machine()
+    machine.run(max_instructions=limit)
+    assert machine.halted
+    return machine
+
+
+class TestIsing:
+    @pytest.mark.parametrize("nodes,spins", [(16, 4), (48, 6), (64, 8)])
+    def test_finds_minimum_energy(self, nodes, spins):
+        workload = build_ising(nodes=nodes, spins=spins)
+        machine = run_program(workload.program)
+        best = machine.state.read_i32(workload.program.symbol(
+            "g_result_energy"))
+        index = machine.state.read_i32(workload.program.symbol(
+            "g_result_index"))
+        assert best == workload.expected["best_energy"]
+        assert index == workload.expected["best_index"]
+
+    def test_deterministic_under_seed(self):
+        a = build_ising(nodes=16, spins=4, seed=7)
+        b = build_ising(nodes=16, spins=4, seed=7)
+        assert a.program.code == b.program.code
+        assert a.program.data == b.program.data
+
+    def test_different_seeds_differ(self):
+        a = build_ising(nodes=16, spins=4, seed=7)
+        b = build_ising(nodes=16, spins=4, seed=8)
+        assert a.program.data != b.program.data
+
+
+class TestMM2:
+    @pytest.mark.parametrize("n", [4, 8, 12])
+    def test_checksum(self, n):
+        workload = build_mm2(n=n)
+        machine = run_program(workload.program)
+        checksum = machine.state.read_i32(
+            workload.program.symbol("g_checksum"))
+        assert checksum == workload.expected["checksum"]
+
+    def test_d_matrix_contents(self):
+        workload = build_mm2(n=5)
+        machine = run_program(workload.program)
+        base = workload.program.symbol("g_D")
+        n = workload.params["n"]
+        expected = workload.expected["d_matrix"]
+        for i in range(n):
+            for j in range(n):
+                assert machine.state.read_i32(base + 4 * (i * n + j)) \
+                    == expected[i][j]
+
+
+class TestCollatz:
+    @pytest.mark.parametrize("count", [50, 300])
+    def test_verified_count(self, count):
+        workload = build_collatz(count=count)
+        machine = run_program(workload.program)
+        verified = machine.state.read_i32(
+            workload.program.symbol("g_verified"))
+        assert verified == count == workload.expected["verified"]
+
+    def test_memoize_variant_same_program_logic(self):
+        plain = build_collatz(count=40)
+        memo = build_collatz(count=40, memoize=True)
+        assert plain.program.code == memo.program.code
+        assert memo.config.min_superstep_instructions \
+            < plain.config.min_superstep_instructions
+
+
+class TestWorkloadMetadata:
+    def test_source_lines_counted(self):
+        workload = build_collatz(count=10)
+        # The paper reports 15 lines for Collatz; ours is the same scale.
+        assert 10 <= workload.program.source_line_count <= 25
+
+    def test_descriptions(self):
+        assert "linked-list" in build_ising(16, 4).description
+        assert "2mm" in build_mm2(4).description

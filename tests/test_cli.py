@@ -1,0 +1,131 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+int total;
+int main() {
+    int i;
+    for (i = 1; i <= 40; i++) total += i;
+    return total;
+}
+"""
+
+ASM_SOURCE = """
+.entry start
+start:
+    mov eax, 99
+    hlt
+"""
+
+
+@pytest.fixture()
+def c_file(tmp_path):
+    path = tmp_path / "kernel.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_compile_and_save(c_file, tmp_path, capsys):
+    out = str(tmp_path / "kernel.json")
+    assert main(["compile", c_file, "-o", out, "--disasm"]) == 0
+    text = capsys.readouterr().out
+    assert "Program(" in text
+    assert "hints:" in text
+    assert "fn_main:" in text  # disassembly listing
+    # The saved image runs identically.
+    assert main(["run", out, "--global", "total"]) == 0
+    assert "total = 820" in capsys.readouterr().out
+
+
+def test_run_c_file(c_file, capsys):
+    assert main(["run", c_file, "--reg", "eax", "--global", "total"]) == 0
+    text = capsys.readouterr().out
+    assert "halted" in text
+    assert "eax = 820" in text
+    assert "total = 820" in text
+
+
+def test_run_assembly(tmp_path, capsys):
+    path = tmp_path / "prog.s"
+    path.write_text(ASM_SOURCE)
+    assert main(["run", str(path), "--reg", "eax"]) == 0
+    assert "eax = 99" in capsys.readouterr().out
+
+
+def test_run_unknown_register(c_file, capsys):
+    assert main(["run", c_file, "--reg", "xyz"]) == 2
+
+
+def test_run_unknown_global(c_file, capsys):
+    assert main(["run", c_file, "--global", "missing"]) == 2
+
+
+def test_disasm(c_file, capsys):
+    assert main(["disasm", c_file]) == 0
+    text = capsys.readouterr().out
+    assert "call fn_main" not in text  # rendered numerically
+    assert "fn_main:" in text
+
+
+def test_scale_command(tmp_path, capsys):
+    path = tmp_path / "loop.c"
+    path.write_text("""
+        int out[400];
+        int step(int v) {
+            int j;
+            for (j = 0; j < 12; j++) v = v * 5 + j;
+            return v;
+        }
+        int main() {
+            int i;
+            for (i = 0; i < 400; i++) out[i] = step(i);
+            return out[399];
+        }
+    """)
+    assert main(["scale", str(path), "--cores", "4,16",
+                 "--window", "30000", "--min-superstep", "80"]) == 0
+    text = capsys.readouterr().out
+    assert "recognized IP" in text
+    assert "lasc" in text
+    assert "16" in text
+
+
+def test_memoize_command(tmp_path, capsys):
+    path = tmp_path / "collatz.c"
+    path.write_text("""
+        int limit = 150;
+        int verified;
+        int main() {
+            int n;
+            for (n = 1; n <= limit; n++) {
+                int x = n;
+                while (x != 1) {
+                    if (x % 2 == 0) x = x / 2; else x = 3 * x + 1;
+                }
+                verified++;
+            }
+            return verified;
+        }
+    """)
+    assert main(["memoize", str(path), "--window", "20000"]) == 0
+    assert "final scaling" in capsys.readouterr().out
+
+
+def test_program_image_roundtrip(c_file, tmp_path):
+    from repro.cli import load_program
+    from repro.loader.image import Program
+    out = str(tmp_path / "image.json")
+    original = load_program(c_file)
+    original.save(out)
+    loaded = Program.load(out)
+    assert loaded.code == original.code
+    assert loaded.data == original.data
+    assert loaded.entry == original.entry
+    assert loaded.symbols == original.symbols
+    assert loaded.hints.loop_headers == original.hints.loop_headers
+    machine = loaded.make_machine()
+    machine.run(max_instructions=100_000)
+    assert machine.state.read_i32(loaded.symbol("g_total")) == 820

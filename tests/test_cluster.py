@@ -1,0 +1,74 @@
+"""Cost models and platform presets."""
+
+import pytest
+
+from repro.cluster import (
+    CostModel,
+    Platform,
+    ZERO_OVERHEAD,
+    bluegene_p,
+    laptop1,
+    server32,
+)
+
+
+class TestCostModel:
+    def test_papers_measured_rates(self):
+        cm = CostModel()
+        assert cm.mips_base == pytest.approx(2.6e6)
+        assert cm.mips_dep == pytest.approx(2.3e6)
+        # The paper's ~13% dependency-tracking overhead.
+        overhead = cm.exec_seconds(1000) / cm.exec_seconds(
+            1000, dep_tracking=False) - 1.0
+        assert overhead == pytest.approx(0.13, abs=0.01)
+
+    def test_rollout_linear_in_rank(self):
+        cm = CostModel()
+        one = cm.rollout_seconds(1, 300)
+        assert cm.rollout_seconds(10, 300) == pytest.approx(10 * one)
+
+    def test_rollout_grows_with_bits(self):
+        cm = CostModel()
+        assert cm.rollout_seconds(1, 30_000) > cm.rollout_seconds(1, 300)
+
+    def test_query_grows_with_cores_and_bits(self):
+        cm = CostModel()
+        assert cm.query_seconds(1024, 640) > cm.query_seconds(2, 640)
+        assert cm.query_seconds(32, 64_000) > cm.query_seconds(32, 640)
+
+    def test_scaled_preserves_instruction_rates(self):
+        cm = CostModel().scaled(1e-4)
+        assert cm.mips_dep == pytest.approx(2.3e6)
+        assert cm.query_base_seconds == pytest.approx(2.0e-4 * 1e-4)
+        assert cm.rollout_seconds(5, 100) == pytest.approx(
+            CostModel().rollout_seconds(5, 100) * 1e-4)
+
+    def test_zero_overhead_keeps_only_instruction_time(self):
+        assert ZERO_OVERHEAD.query_seconds(4096, 1e6) == 0.0
+        assert ZERO_OVERHEAD.rollout_seconds(100, 1e5) == 0.0
+        assert ZERO_OVERHEAD.exec_seconds(2.3e6) == pytest.approx(1.0)
+
+
+class TestPlatforms:
+    def test_server32(self):
+        platform = server32()
+        assert platform.n_cores == 32
+        assert platform.cache_capacity_bytes is None
+
+    def test_bluegene_memory_and_reduce(self):
+        platform = bluegene_p(1024)
+        assert platform.cache_capacity_bytes == 1024 * 512 * 1024 * 1024
+        assert platform.cost_model.reduce_hop_seconds \
+            < server32().cost_model.reduce_hop_seconds
+
+    def test_laptop_single_core(self):
+        assert laptop1().n_cores == 1
+
+    def test_with_cores(self):
+        platform = bluegene_p(64).with_cores(128)
+        assert platform.n_cores == 128
+        assert platform.memory_bytes_per_core == 512 * 1024 * 1024
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            Platform("x", 0)

@@ -1,0 +1,33 @@
+"""EngineConfig behavior."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+
+
+def test_defaults_reasonable():
+    config = EngineConfig()
+    assert config.warmup_observations >= 2
+    assert 0 < config.rwma_beta < 1
+    assert config.min_superstep_instructions > 0
+    assert config.converge_supersteps_charge is None
+
+
+def test_replace_copies():
+    config = EngineConfig()
+    other = config.replace(rwma_beta=0.1, seed=9)
+    assert other.rwma_beta == 0.1
+    assert other.seed == 9
+    assert config.rwma_beta != 0.1
+    assert other.warmup_observations == config.warmup_observations
+
+
+def test_replace_rejects_unknown_field():
+    with pytest.raises(TypeError):
+        EngineConfig().replace(not_a_field=1)
+
+
+def test_repr_lists_fields():
+    text = repr(EngineConfig())
+    assert "rwma_beta" in text
+    assert "warmup_observations" in text

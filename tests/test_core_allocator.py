@@ -1,0 +1,168 @@
+"""Allocator: rollout chains, relevance masking, dispatch ordering."""
+
+import numpy as np
+
+from repro.core.allocator import Allocator, RelevanceMask, RolloutStep
+from repro.core.config import EngineConfig
+from repro.core.excitation import ExcitationTracker
+from repro.core.predictors import default_ensemble
+from repro.core.trajectory_cache import CacheEntry
+
+
+def build_tracker_and_views(sequence):
+    """Tracker + views over a one-counter state (word at vector 16)."""
+    config = EngineConfig(warmup_observations=2)
+    tracker = ExcitationTracker(None, config)
+    views = []
+    for value in sequence:
+        buf = bytearray(64)
+        buf[16:20] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        view = tracker.observe(bytes(buf))
+        if view is not None:
+            views.append(view)
+    return tracker, views
+
+
+def warmed_allocator(max_rollout=8, upto=40):
+    # Train through 40 so every bit the rollout will touch has flipped
+    # at least once: a never-flipped bit has no training signal and the
+    # weighted majority rightly refuses to flip it (the same blind spot
+    # the paper's per-bit ensemble has at power-of-two crossings).
+    tracker, views = build_tracker_and_views(range(upto))
+    ensemble = default_ensemble()
+    allocator = Allocator(ensemble, tracker, max_rollout)
+    for view in views:
+        ensemble.observe(view)
+        allocator.advance(view)
+    return tracker, ensemble, allocator, views
+
+
+class TestChain:
+    def test_chain_extends_to_max_rollout(self):
+        __, __, allocator, __ = warmed_allocator(max_rollout=8)
+        assert len(allocator.chain) == 8
+
+    def test_chain_predicts_arithmetic_sequence(self):
+        tracker, __, allocator, views = warmed_allocator()
+        values = [int(step.word_values[0]) for step in allocator.chain]
+        last_observed = int(views[-1].word_values[0])
+        assert values == list(range(last_observed + 1, last_observed + 9))
+
+    def test_correct_observation_shifts(self):
+        tracker, ensemble, allocator, views = warmed_allocator()
+        shifts_before = allocator.shifts
+        buf = bytearray(64)
+        next_value = int(views[-1].word_values[0]) + 1
+        buf[16:20] = next_value.to_bytes(4, "little")
+        view = tracker.observe(bytes(buf))
+        ensemble.observe(view)
+        allocator.advance(view)
+        assert allocator.shifts == shifts_before + 1
+
+    def test_wrong_observation_rebuilds(self):
+        tracker, ensemble, allocator, views = warmed_allocator()
+        rebuilds_before = allocator.rebuilds
+        buf = bytearray(64)
+        buf[16:20] = (3).to_bytes(4, "little")  # surprise: jumped back
+        view = tracker.observe(bytes(buf))
+        ensemble.observe(view)
+        allocator.advance(view)
+        assert allocator.rebuilds == rebuilds_before + 1
+        # And the new chain continues from the surprise value.
+        assert int(allocator.chain[0].word_values[0]) == 4
+
+    def test_probabilities_monotonically_decrease(self):
+        __, __, allocator, __ = warmed_allocator()
+        probs = allocator.probabilities()
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+        assert all(0 < p <= 1 for p in probs)
+
+    def test_dispatch_order_prefers_near_ranks(self):
+        __, __, allocator, __ = warmed_allocator()
+        order = allocator.dispatch_order(mean_jump=100,
+                                         min_probability=1e-12)
+        assert order[0] == 0
+        assert sorted(order) == order
+
+    def test_dispatch_threshold_prunes(self):
+        __, __, allocator, __ = warmed_allocator()
+        everything = allocator.dispatch_order(100, 1e-12)
+        pruned = allocator.dispatch_order(100, 0.9999)
+        assert len(pruned) <= len(everything)
+
+
+class TestRelevanceMask:
+    def _mask_with_dep_word(self, tracker, word_index):
+        mask = RelevanceMask(tracker)
+        entry = CacheEntry(
+            0x40,
+            np.array([word_index, word_index + 1], dtype=np.int64),
+            np.array([0, 0], dtype=np.uint8),
+            np.array([0], dtype=np.int64),
+            np.array([0], dtype=np.uint8),
+            length=1)
+        mask.update_from_entry(entry)
+        return mask
+
+    def test_unseeded_mask_is_exact_equality(self):
+        tracker, __ = build_tracker_and_views(range(6))
+        mask = RelevanceMask(tracker)
+        a = np.array([1], dtype=np.uint32)
+        b = np.array([2], dtype=np.uint32)
+        assert mask.equivalent(a, a.copy())
+        assert not mask.equivalent(a, b)
+
+    def test_seeded_mask_ignores_irrelevant_words(self):
+        # Two target words: 16 (relevant) and 20 (dead temporary).
+        config = EngineConfig(warmup_observations=2)
+        tracker = ExcitationTracker(None, config)
+        for i in range(6):
+            buf = bytearray(64)
+            buf[16:20] = i.to_bytes(4, "little")
+            buf[20:24] = (i * 977 % 256).to_bytes(4, "little")
+            tracker.observe(bytes(buf))
+        mask = self._mask_with_dep_word(tracker, 16)
+        assert mask.seeded
+        a = np.array([5, 111], dtype=np.uint32)
+        b = np.array([5, 222], dtype=np.uint32)
+        c = np.array([6, 111], dtype=np.uint32)
+        assert mask.equivalent(a, b)  # differ only in the dead word
+        assert not mask.equivalent(a, c)
+        assert mask.key(a) == mask.key(b)
+        assert mask.key(a) != mask.key(c)
+
+    def test_key_for_caches_per_step(self):
+        tracker, __ = build_tracker_and_views(range(6))
+        mask = self._mask_with_dep_word(tracker, 16)
+        step = RolloutStep(np.array([3], dtype=np.uint32), b"x", 0.9)
+        k1 = mask.key_for(step)
+        assert step.cover_cache is not None
+        assert mask.key_for(step) == k1
+
+
+class TestChainPadding:
+    def test_chain_survives_target_growth(self):
+        config = EngineConfig(warmup_observations=2,
+                              growth_batch_observations=1)
+        tracker = ExcitationTracker(None, config)
+        ensemble = default_ensemble()
+        allocator = Allocator(ensemble, tracker, max_rollout=4)
+        views = []
+        for i in range(8):
+            buf = bytearray(64)
+            buf[16:20] = i.to_bytes(4, "little")
+            view = tracker.observe(bytes(buf))
+            if view is not None:
+                ensemble.observe(view)
+                allocator.advance(view)
+                views.append(view)
+        # A second word starts changing: target set grows.
+        for i in range(8, 12):
+            buf = bytearray(64)
+            buf[16:20] = i.to_bytes(4, "little")
+            buf[24:28] = (7).to_bytes(4, "little")
+            view = tracker.observe(bytes(buf))
+            ensemble.observe(view)
+            allocator.advance(view)
+        assert len(allocator.chain[0].word_values) \
+            == tracker.n_target_words

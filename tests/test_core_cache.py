@@ -1,0 +1,193 @@
+"""Trajectory cache: entries, matching, fast-forward soundness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble
+from repro.core.speculation import run_speculation
+from repro.core.trajectory_cache import CacheEntry, TrajectoryCache
+from repro.machine import DepVector
+
+
+def build_loop_program(limit=50):
+    return assemble("""
+        .entry start
+        start:
+            mov eax, 0
+        top:
+            load ecx, [counter]
+            add ecx, 3
+            store [counter], ecx
+            inc eax
+            cmp eax, %d
+            jl top
+            hlt
+        .data
+        counter: .word 0
+    """ % limit, name="loop")
+
+
+def make_entry_from_superstep(program, crossings=1):
+    """Run one superstep at 'top' and capture its cache entry."""
+    machine = program.make_machine()
+    top = program.symbol("top")
+    machine.run(max_instructions=10_000, break_ips=frozenset((top,)))
+    start = bytes(machine.state.buf)
+    result = run_speculation(machine.context, start, top, crossings, 10_000)
+    assert result.ok
+    return machine, start, result.entry
+
+
+class TestEntryConstruction:
+    def test_sparse_sides(self):
+        program = build_loop_program()
+        __, __, entry = make_entry_from_superstep(program)
+        # Deps and writes are tiny fractions of the state vector.
+        assert 0 < len(entry.start_indices) < 64
+        assert 0 < len(entry.end_indices) < 64
+        assert entry.length == 6  # one loop iteration (load..jl)
+        assert entry.size_bytes() > 0
+
+    def test_from_execution_classifies_statuses(self):
+        dep = DepVector(8)
+        dep.buf[1] = 1  # READ
+        dep.buf[2] = 2  # WRITTEN
+        dep.buf[3] = 3  # WAR
+        start = bytes([0, 10, 20, 30, 0, 0, 0, 0])
+        end = bytes([0, 10, 99, 77, 0, 0, 0, 0])
+        entry = CacheEntry.from_execution(0x40, dep, start, end, length=9)
+        assert entry.start_indices.tolist() == [1, 3]
+        assert entry.start_values.tolist() == [10, 30]
+        assert entry.end_indices.tolist() == [2, 3]
+        assert entry.end_values.tolist() == [99, 77]
+
+
+class TestFastForwardSoundness:
+    def test_apply_equals_execution(self):
+        """The core correctness property: fast-forwarding via a cache
+        entry produces exactly the state sequential execution produces."""
+        program = build_loop_program()
+        machine, start, entry = make_entry_from_superstep(program)
+        # Execute for real.
+        executed = program.make_machine()
+        top = program.symbol("top")
+        executed.run(max_instructions=10_000, break_ips=frozenset((top,)))
+        executed.run(max_instructions=10_000, break_ips=frozenset((top,)))
+        # Fast-forward the snapshot.
+        forwarded = bytearray(start)
+        assert entry.matches(forwarded)
+        entry.apply(forwarded)
+        assert bytes(forwarded) == bytes(executed.state.buf)
+
+    def test_apply_repeatedly_follows_trajectory(self):
+        program = build_loop_program()
+        top = program.symbol("top")
+        machine = program.make_machine()
+        machine.run(max_instructions=10_000, break_ips=frozenset((top,)))
+        cache = TrajectoryCache()
+        # Build entries for several consecutive supersteps by running a
+        # speculation from each boundary of a reference machine.
+        ref = program.make_machine()
+        ref.run(max_instructions=10_000, break_ips=frozenset((top,)))
+        for __ in range(5):
+            result = run_speculation(ref.context, bytes(ref.state.buf),
+                                     top, 1, 10_000)
+            cache.insert(result.entry)
+            ref.run(max_instructions=10_000, break_ips=frozenset((top,)))
+        # Now fast-forward the main machine five times via lookups.
+        jumps = 0
+        while True:
+            entry = cache.lookup(top, machine.state.buf)
+            if entry is None:
+                break
+            entry.apply(machine.state.buf)
+            jumps += 1
+        assert jumps == 5
+        assert bytes(machine.state.buf) == bytes(ref.state.buf)
+
+    def test_mismatched_state_does_not_match(self):
+        program = build_loop_program()
+        __, start, entry = make_entry_from_superstep(program)
+        wrong = bytearray(start)
+        counter_index = program.layout.vec_index(program.symbol("counter"))
+        wrong[counter_index] ^= 0xFF
+        assert not entry.matches(wrong)
+
+
+class TestCacheIndex:
+    def _entry(self, rip, start_idx, start_val, length, ready=0.0):
+        return CacheEntry(
+            rip,
+            np.array(start_idx, dtype=np.int64),
+            np.array(start_val, dtype=np.uint8),
+            np.array([0], dtype=np.int64),
+            np.array([1], dtype=np.uint8),
+            length, ready_time=ready)
+
+    def test_lookup_longest(self):
+        cache = TrajectoryCache()
+        buf = bytearray(16)
+        buf[4] = 9
+        cache.insert(self._entry(0x40, [4], [9], length=10))
+        cache.insert(self._entry(0x40, [4], [9], length=30))
+        entry = cache.lookup(0x40, buf)
+        assert entry.length == 30
+
+    def test_lookup_respects_rip(self):
+        cache = TrajectoryCache()
+        buf = bytearray(16)
+        cache.insert(self._entry(0x40, [4], [0], length=10))
+        assert cache.lookup(0x48, buf) is None
+
+    def test_ready_time_filtering(self):
+        cache = TrajectoryCache()
+        buf = bytearray(16)
+        cache.insert(self._entry(0x40, [4], [0], length=10, ready=5.0))
+        entry, late = cache.lookup_classified(0x40, buf, now=1.0)
+        assert entry is None and late
+        entry, late = cache.lookup_classified(0x40, buf, now=6.0)
+        assert entry is not None and not late
+
+    def test_no_match_is_not_late(self):
+        cache = TrajectoryCache()
+        buf = bytearray(16)
+        buf[4] = 1
+        cache.insert(self._entry(0x40, [4], [2], length=10, ready=5.0))
+        entry, late = cache.lookup_classified(0x40, buf, now=0.0)
+        assert entry is None and not late
+
+    def test_eviction_under_capacity(self):
+        tiny = self._entry(0x40, [4], [0], length=1)
+        cache = TrajectoryCache(capacity_bytes=tiny.size_bytes() * 3)
+        for i in range(10):
+            cache.insert(self._entry(0x40, [4], [i], length=1))
+        assert cache.n_evicted > 0
+        assert cache.total_bytes <= tiny.size_bytes() * 3
+        assert len(cache) == cache.n_inserted - cache.n_evicted
+
+    def test_with_ready_time_clones(self):
+        entry = self._entry(0x40, [4], [0], length=10)
+        later = entry.with_ready_time(9.0)
+        assert later.ready_time == 9.0
+        assert entry.ready_time == 0.0
+        assert later.length == entry.length
+
+
+@settings(max_examples=30, deadline=None)
+@given(limit=st.integers(3, 30), jump_at=st.integers(1, 2))
+def test_fast_forward_equivalence_property(limit, jump_at):
+    """From any boundary, (apply entry) == (execute superstep)."""
+    program = build_loop_program(limit=limit)
+    top = program.symbol("top")
+    machine = program.make_machine()
+    for __ in range(jump_at):
+        machine.run(max_instructions=10_000, break_ips=frozenset((top,)))
+    snapshot = bytes(machine.state.buf)
+    result = run_speculation(machine.context, snapshot, top, 1, 10_000)
+    machine.run(max_instructions=10_000, break_ips=frozenset((top,)))
+    truth = bytes(machine.state.buf)
+    forwarded = bytearray(snapshot)
+    assert result.entry.matches(forwarded)
+    result.entry.apply(forwarded)
+    assert bytes(forwarded) == truth

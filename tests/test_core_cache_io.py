@@ -1,0 +1,136 @@
+"""Trajectory-cache persistence and cross-invocation reuse (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import build_collatz
+from repro.cluster import CostModel, laptop1
+from repro.core.cache_io import (
+    deserialize_cache,
+    load_cache,
+    save_cache,
+    serialize_cache,
+)
+from repro.core.engine import MemoizingEngine
+from repro.core.recognizer import Recognizer
+from repro.core.trajectory_cache import CacheEntry, TrajectoryCache
+from repro.errors import EngineError
+
+
+def make_entry(rip=0x40, seed=0, length=100):
+    rng = np.random.default_rng(seed)
+    n_start, n_end = 5, 3
+    return CacheEntry(
+        rip,
+        np.sort(rng.choice(1000, n_start, replace=False)).astype(np.int64),
+        rng.integers(0, 256, n_start, dtype=np.uint8),
+        np.sort(rng.choice(1000, n_end, replace=False)).astype(np.int64),
+        rng.integers(0, 256, n_end, dtype=np.uint8),
+        length, occurrences=2, ready_time=7.5, halted=bool(seed % 2))
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        cache = TrajectoryCache()
+        for seed in range(10):
+            cache.insert(make_entry(rip=0x40 + 8 * (seed % 3), seed=seed,
+                                    length=100 + seed))
+        path = tmp_path / "cache.ascc"
+        save_cache(cache, path)
+        loaded = load_cache(path)
+        assert len(loaded) == len(cache)
+        originals = {(e.rip, e.length): e for e in cache.entries()}
+        for entry in loaded.entries():
+            original = originals[(entry.rip, entry.length)]
+            assert np.array_equal(entry.start_indices,
+                                  original.start_indices)
+            assert np.array_equal(entry.start_values,
+                                  original.start_values)
+            assert np.array_equal(entry.end_indices, original.end_indices)
+            assert np.array_equal(entry.end_values, original.end_values)
+            assert entry.occurrences == original.occurrences
+            assert entry.halted == original.halted
+            assert entry.ready_time == 0.0  # preloaded entries are ready
+
+    def test_empty_cache(self):
+        blob = serialize_cache(TrajectoryCache())
+        assert len(deserialize_cache(blob)) == 0
+
+    @pytest.mark.parametrize("mutation", ["magic", "truncate", "trailing"])
+    def test_corrupt_blobs_rejected(self, mutation):
+        cache = TrajectoryCache()
+        cache.insert(make_entry())
+        blob = bytearray(serialize_cache(cache))
+        if mutation == "magic":
+            blob[0] ^= 0xFF
+        elif mutation == "truncate":
+            blob = blob[:len(blob) - 3]
+        else:
+            blob += b"\x00"
+        with pytest.raises(EngineError):
+            deserialize_cache(bytes(blob))
+
+    def test_capacity_applies_on_load(self, tmp_path):
+        cache = TrajectoryCache()
+        for seed in range(20):
+            cache.insert(make_entry(seed=seed, length=seed + 1))
+        path = tmp_path / "cache.ascc"
+        save_cache(cache, path)
+        tiny = load_cache(path, capacity_bytes=make_entry().size_bytes() * 4)
+        assert len(tiny) <= 4
+
+
+class TestCrossInvocationReuse:
+    def test_warm_cache_speeds_second_invocation(self):
+        """Run Collatz once in memoization mode, carry the cache into a
+        second run over a larger range: the warm run must hit entries
+        from the previous invocation immediately."""
+        first = build_collatz(count=180, memoize=True)
+        recognized = Recognizer(first.config).find_for_memoization(
+            first.program)
+        factor = max(recognized.superstep_instructions / 2.3e6 / 5.22, 1e-7)
+        platform = laptop1(CostModel().scaled(factor))
+        cold = MemoizingEngine(first.program, platform,
+                               config=first.config,
+                               recognized=recognized).run()
+        blob = serialize_cache(cold.cache)
+        warm_cache = deserialize_cache(blob)
+
+        # Same program, warm cache: hits from the very start.
+        warm = MemoizingEngine(first.program, platform,
+                               config=first.config,
+                               recognized=recognized,
+                               initial_cache=warm_cache).run()
+        assert warm.stats.hits > cold.stats.hits
+        assert warm.scaling > cold.scaling
+        # Early-phase hit rate: the cold run's first-quarter scaling is
+        # below the warm run's (the cache was earned last invocation).
+        quarter = len(cold.timeline) // 4
+        assert warm.timeline[quarter].scaling \
+            > cold.timeline[quarter].scaling
+
+    def test_entries_never_corrupt_different_range(self):
+        """A cache from count=180 reused at count=240 must preserve
+        correctness: fast-forwards are exact or absent."""
+        first = build_collatz(count=180, memoize=True)
+        second = build_collatz(count=240, memoize=True)
+        recognized = Recognizer(first.config).find_for_memoization(
+            first.program)
+        factor = max(recognized.superstep_instructions / 2.3e6 / 5.22, 1e-7)
+        platform = laptop1(CostModel().scaled(factor))
+        cold = MemoizingEngine(first.program, platform,
+                               config=first.config,
+                               recognized=recognized).run()
+        recognized2 = Recognizer(second.config).find_for_memoization(
+            second.program)
+        warm = MemoizingEngine(second.program,
+                               laptop1(CostModel().scaled(factor)),
+                               config=second.config,
+                               recognized=recognized2,
+                               initial_cache=cold.cache).run()
+        # The run completed and computed the right result.
+        machine = second.program.make_machine()
+        machine.run(max_instructions=50_000_000)
+        assert (warm.stats.instructions_executed
+                + warm.stats.instructions_fast_forwarded) \
+            == machine.instruction_count

@@ -1,0 +1,172 @@
+"""RWMA ensemble: regret minimization, combination, weight matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core.excitation import ObservationView
+from repro.core.predictors import (
+    LinearRegressionPredictor,
+    MeanPredictor,
+    PredictorEnsemble,
+    WeathermanPredictor,
+    default_ensemble,
+)
+from repro.core.predictors.base import Predictor
+
+
+def view_of(*words):
+    values = np.array([w & 0xFFFFFFFF for w in words], dtype=np.uint32)
+    bits = np.unpackbits(values.view(np.uint8), bitorder="little")
+    return ObservationView(values, bits, version=1, index=-1)
+
+
+class ConstantPredictor(Predictor):
+    """Always predicts a fixed word value."""
+
+    def __init__(self, value, name="const"):
+        super().__init__()
+        self.value = value
+        self.name = name
+
+    def update(self, prev_view, next_view):
+        self.ensure_capacity(next_view.n_bits)
+
+    def predict(self, view):
+        self.ensure_capacity(view.n_bits)
+        n_words = view.n_bits // 32
+        values = np.full(n_words, self.value, dtype=np.uint32)
+        bits = np.unpackbits(values.view(np.uint8), bitorder="little")
+        return bits, np.full(view.n_bits, 0.9)
+
+
+def test_requires_predictors_and_valid_beta():
+    with pytest.raises(ValueError):
+        PredictorEnsemble([])
+    with pytest.raises(ValueError):
+        PredictorEnsemble([MeanPredictor()], beta=1.5)
+
+
+def test_default_ensemble_has_four_algorithms():
+    ensemble = default_ensemble()
+    names = {n.split("(")[0] for n in ensemble.expert_names}
+    assert names == {"mean", "weatherman", "logistic", "linreg"}
+
+
+def test_converges_to_correct_expert():
+    """With one always-right expert among always-wrong ones, the weighted
+    majority must start following the right one after a few rounds —
+    the regret bound in action."""
+    right = ConstantPredictor(7, "right")
+    wrong1 = ConstantPredictor(1, "wrong1")
+    wrong2 = ConstantPredictor(2, "wrong2")
+    wrong3 = ConstantPredictor(3, "wrong3")
+    ensemble = PredictorEnsemble([wrong1, wrong2, wrong3, right], beta=0.3)
+    stream = [view_of(7) for __ in range(12)]
+    correct_after = []
+    for view in stream:
+        outcome = ensemble.observe(view)
+        if outcome.scored:
+            correct_after.append(
+                not (outcome.ensemble_bits != outcome.actual_bits).any())
+    # Early rounds may follow the wrong majority; late rounds must not.
+    assert all(correct_after[3:])
+    assert not all(correct_after[:1])
+
+
+def test_weights_decay_multiplicatively():
+    right = ConstantPredictor(0xFF, "right")
+    wrong = ConstantPredictor(0x00, "wrong")
+    ensemble = PredictorEnsemble([right, wrong], beta=0.5)
+    for __ in range(4):
+        ensemble.observe(view_of(0xFF))
+    weights = ensemble.weight_matrix(normalized=False)
+    # Bits 0..7 disagree: wrong expert halved per scored round (3 rounds).
+    assert weights[1, 0] == pytest.approx(0.5 ** 3)
+    assert weights[0, 0] == 1.0
+
+
+def test_weight_floor():
+    right = ConstantPredictor(1, "right")
+    wrong = ConstantPredictor(0, "wrong")
+    ensemble = PredictorEnsemble([right, wrong], beta=0.1,
+                                 weight_floor=1e-6)
+    for __ in range(20):
+        ensemble.observe(view_of(1))
+    weights = ensemble.weight_matrix(normalized=False)
+    assert weights[1, 0] >= 1e-6
+
+
+def test_predict_from_is_pure():
+    ensemble = default_ensemble()
+    for i in range(6):
+        ensemble.observe(view_of(i))
+    view = view_of(6)
+    before = ensemble.weight_matrix(normalized=False).copy()
+    bits1, probs1 = ensemble.predict_from(view)
+    bits2, probs2 = ensemble.predict_from(view)
+    assert (bits1 == bits2).all()
+    assert np.array_equal(before, ensemble.weight_matrix(normalized=False))
+
+
+def test_rollout_chaining_through_predictions():
+    """predict_from on its own output follows an arithmetic sequence."""
+    ensemble = default_ensemble()
+    for i in range(10):
+        ensemble.observe(view_of(i))
+    bits, __ = ensemble.predict_from(view_of(9))
+    value = int(np.packbits(bits, bitorder="little").view("<u4")[0])
+    assert value == 10
+    view = view_of(value)
+    bits, __ = ensemble.predict_from(view)
+    value = int(np.packbits(bits, bitorder="little").view("<u4")[0])
+    assert value == 11
+
+
+def test_probabilities_reflect_vote_share():
+    right = ConstantPredictor(1, "right")
+    wrong = ConstantPredictor(0, "wrong")
+    ensemble = PredictorEnsemble([right, wrong], beta=0.5)
+    for __ in range(6):
+        ensemble.observe(view_of(1))
+    __, probs = ensemble.predict_from(view_of(1))
+    # Bit 0: right expert dominates; probability of the chosen value
+    # should be well above one half.
+    assert probs[0] > 0.8
+
+
+def test_flush_pending_prevents_cross_jump_scoring():
+    ensemble = default_ensemble()
+    for i in range(6):
+        ensemble.observe(view_of(i))
+    before = ensemble.weight_matrix(normalized=False).copy()
+    ensemble.flush_pending()
+    outcome = ensemble.observe(view_of(1000))  # discontinuous jump
+    assert not outcome.scored
+    assert np.array_equal(before, ensemble.weight_matrix(normalized=False))
+
+
+def test_randomized_mode_deterministic_under_seed():
+    a = PredictorEnsemble([MeanPredictor(), WeathermanPredictor(),
+                           LinearRegressionPredictor()],
+                          randomized=True, seed=42)
+    b = PredictorEnsemble([MeanPredictor(), WeathermanPredictor(),
+                           LinearRegressionPredictor()],
+                          randomized=True, seed=42)
+    for i in range(8):
+        a.observe(view_of(i))
+        b.observe(view_of(i))
+    bits_a, __ = a.predict_from(view_of(8))
+    bits_b, __ = b.predict_from(view_of(8))
+    assert (bits_a == bits_b).all()
+
+
+def test_capacity_growth_mid_stream():
+    ensemble = default_ensemble()
+    for i in range(5):
+        ensemble.observe(view_of(i))
+    # Target set grows by one word.
+    outcome = ensemble.observe(view_of(5, 100))
+    assert outcome.scored  # old bits still scored
+    assert ensemble.weights.shape[1] == 64
+    outcome = ensemble.observe(view_of(6, 100))
+    assert len(outcome.actual_bits) == 64

@@ -1,0 +1,147 @@
+"""Excitation tracking: target discovery, projection, materialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.excitation import ExcitationTracker
+from repro.errors import EngineError
+
+
+def make_tracker(warmup=3, growth_batch=2, **kwargs):
+    config = EngineConfig(warmup_observations=warmup,
+                          growth_batch_observations=growth_batch, **kwargs)
+    return ExcitationTracker(None, config)
+
+
+def states_with_counter(n, size=64, offset=16, start=0):
+    """State sequence where one word counts up."""
+    out = []
+    for i in range(n):
+        buf = bytearray(size)
+        buf[offset:offset + 4] = (start + i).to_bytes(4, "little")
+        out.append(bytes(buf))
+    return out
+
+
+def test_warmup_returns_none():
+    tracker = make_tracker(warmup=3)
+    for buf in states_with_counter(3):
+        assert tracker.observe(buf) is None
+    assert not tracker.frozen
+
+
+def test_freezes_after_warmup_with_changed_word():
+    tracker = make_tracker(warmup=3)
+    views = [tracker.observe(buf) for buf in states_with_counter(6)]
+    assert views[3] is not None
+    assert tracker.frozen
+    assert tracker.target_words.tolist() == [16]
+    assert views[3].word_values.tolist() == [3]
+
+
+def test_no_changes_keeps_warming():
+    tracker = make_tracker(warmup=2)
+    constant = bytes(64)
+    for __ in range(5):
+        assert tracker.observe(constant) is None
+
+
+def test_bits_match_word_values():
+    tracker = make_tracker()
+    view = None
+    for buf in states_with_counter(6, start=4):
+        view = tracker.observe(buf) or view
+    packed = np.packbits(view.bits, bitorder="little").view("<u4")
+    assert packed.tolist() == view.word_values.tolist()
+
+
+def test_growth_appends_and_bumps_version():
+    tracker = make_tracker(warmup=2, growth_batch=2)
+    seq = states_with_counter(4)
+    for buf in seq:
+        tracker.observe(buf)
+    v0 = tracker.version
+    # A new byte (word 32) starts changing after freeze.
+    later = []
+    for i in range(6):
+        buf = bytearray(64)
+        buf[16:20] = (4 + i).to_bytes(4, "little")
+        buf[32] = i % 3
+        later.append(bytes(buf))
+    for buf in later:
+        tracker.observe(buf)
+    assert tracker.version > v0
+    assert tracker.target_words.tolist() == [16, 32]  # appended, not sorted in
+
+
+def test_growth_disabled():
+    tracker = make_tracker(warmup=2, grow_targets=False)
+    for buf in states_with_counter(4):
+        tracker.observe(buf)
+    buf = bytearray(64)
+    buf[32] = 9
+    tracker.observe(bytes(buf))
+    tracker.observe(bytes(64))
+    assert tracker.target_words.tolist() == [16]
+
+
+def test_materialize_overwrites_only_targets():
+    tracker = make_tracker()
+    for buf in states_with_counter(6):
+        tracker.observe(buf)
+    base = bytearray(64)
+    base[0] = 0xAA  # non-target byte
+    out = tracker.materialize(bytes(base), np.array([99], dtype=np.uint32))
+    assert out[0] == 0xAA
+    assert int.from_bytes(out[16:20], "little") == 99
+
+
+def test_view_from_bits_and_words_agree():
+    tracker = make_tracker()
+    for buf in states_with_counter(6):
+        tracker.observe(buf)
+    words = np.array([0x01020304], dtype=np.uint32)
+    v1 = tracker.view_from_words(words)
+    v2 = tracker.view_from_bits(v1.bits)
+    assert v2.word_values.tolist() == words.tolist()
+    assert v1.digest() == v2.digest()
+
+
+def test_view_size_mismatch_rejected():
+    tracker = make_tracker()
+    for buf in states_with_counter(6):
+        tracker.observe(buf)
+    with pytest.raises(EngineError):
+        tracker.view_from_words(np.zeros(5, dtype=np.uint32))
+
+
+def test_digest_distinguishes_values_and_versions():
+    tracker = make_tracker()
+    for buf in states_with_counter(6):
+        tracker.observe(buf)
+    a = tracker.words_digest(np.array([1], dtype=np.uint32))
+    b = tracker.words_digest(np.array([2], dtype=np.uint32))
+    assert a != b
+
+
+def test_excited_bit_count():
+    tracker = make_tracker()
+    for buf in states_with_counter(6):
+        tracker.observe(buf)
+    # Counter 0..5: bits 0,1,2 of the word changed at some point.
+    assert 2 <= tracker.excited_bit_count <= 3
+    assert tracker.excited_byte_count == 1
+
+
+def test_reset_continuity_suppresses_diff():
+    tracker = make_tracker(warmup=2, growth_batch=1)
+    for buf in states_with_counter(5):
+        tracker.observe(buf)
+    tracker.reset_continuity()
+    jump = bytearray(64)
+    jump[40] = 77  # wildly different state
+    tracker.observe(bytes(jump))
+    tracker.observe(bytes(jump))
+    # The discontinuous diff was not recorded as an excitation.
+    assert 40 not in [w for w in tracker.target_words.tolist()]

@@ -1,0 +1,95 @@
+"""Compiler-hint-assisted recognition (§2.1's hybrid approach)."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.recognizer import Recognizer
+from repro.loader.image import ProgramHints
+from repro.minic import compile_source
+
+
+@pytest.fixture(scope="module")
+def hinted_program():
+    return compile_source("""
+        int out[300];
+        int work(int seed) {
+            int j; int v = seed;
+            for (j = 0; j < 10; j++) v = v * 3 + j;
+            return v;
+        }
+        int main() {
+            int i;
+            for (i = 0; i < 300; i++) out[i] = work(i);
+            return out[299];
+        }
+    """, name="hinted")
+
+
+def test_compiler_emits_hints(hinted_program):
+    hints = hinted_program.hints
+    assert hints
+    assert len(hints.function_entries) == 2  # work, main
+    assert len(hints.loop_headers) >= 2
+    lo, hi = hinted_program.code_range
+    for address in hints.all_addresses():
+        assert lo <= address < hi
+
+
+def test_hinted_recognition_picks_hinted_ip(hinted_program):
+    config = EngineConfig(recognizer_window=30_000,
+                          min_superstep_instructions=60,
+                          use_compiler_hints=True)
+    recognized = Recognizer(config).find(hinted_program)
+    assert recognized.ip in hinted_program.hints.all_addresses()
+
+
+def test_hinted_and_unhinted_agree_on_structure(hinted_program):
+    base = EngineConfig(recognizer_window=30_000,
+                        min_superstep_instructions=60)
+    plain = Recognizer(base).find(hinted_program)
+    hinted = Recognizer(base.replace(use_compiler_hints=True)).find(
+        hinted_program)
+    # Both must find a superstep of the same magnitude (one outer
+    # iteration); the hinted search just considers far fewer candidates.
+    assert hinted.superstep_instructions == pytest.approx(
+        plain.superstep_instructions, rel=0.6)
+
+
+def test_hints_shrink_candidate_set(hinted_program):
+    config = EngineConfig(recognizer_window=30_000,
+                          min_superstep_instructions=60)
+    recognizer = Recognizer(config)
+    trace, positions = recognizer._collect_positions(hinted_program)
+    candidates = recognizer._candidate_stats(positions, len(trace))
+    recognizer.config = config.replace(use_compiler_hints=True)
+    filtered = recognizer._hint_filter(hinted_program, candidates)
+    assert 0 < len(filtered) < len(candidates)
+    assert all(c.ip in hinted_program.hints.all_addresses()
+               for c in filtered)
+
+
+def test_hint_filter_falls_back_when_nothing_survives(hinted_program):
+    config = EngineConfig(use_compiler_hints=True)
+    recognizer = Recognizer(config)
+    candidates = ["sentinel"]
+
+    class FakeProgram:
+        hints = ProgramHints(loop_headers=(0x9999,))
+
+    class FakeCandidate:
+        ip = 0x1234
+
+    filtered = recognizer._hint_filter(FakeProgram(), [FakeCandidate()])
+    assert len(filtered) == 1  # fell back to the unfiltered set
+    del candidates
+
+
+def test_assembled_programs_have_no_hints():
+    from repro.asm import assemble
+    program = assemble(".entry start\nstart:\n hlt\n")
+    assert program.hints is None
+    # Hinted recognition on a hint-less program degrades gracefully.
+    config = EngineConfig(use_compiler_hints=True, recognizer_window=500,
+                          recognizer_max_window_doublings=0)
+    recognizer = Recognizer(config)
+    assert recognizer._hint_filter(program, ["x"]) == ["x"]

@@ -1,0 +1,99 @@
+"""Trajectory records and oracle prediction."""
+
+import pytest
+
+from repro.bench import build_ising
+from repro.core.oracle import OracleAllocator, TrajectoryRecord
+from repro.core.recognizer import Recognizer
+from repro.core.excitation import ExcitationTracker
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = build_ising(nodes=64, spins=6)
+    config = workload.config
+    recognized = Recognizer(config).find(workload.program)
+    record = TrajectoryRecord(workload.program, recognized, config)
+    return workload, config, recognized, record
+
+
+def test_record_totals(setup):
+    workload, config, recognized, record = setup
+    assert record.halted
+    assert record.total_instructions > 0
+    assert record.n_boundaries >= 3
+    assert record.mean_superstep_instructions == pytest.approx(
+        recognized.superstep_instructions, rel=0.5)
+
+
+def test_boundary_positions_strictly_increasing(setup):
+    record = setup[3]
+    positions = record.boundary_positions
+    assert all(a < b for a, b in zip(positions, positions[1:]))
+
+
+def test_views_lookup_by_digest(setup):
+    record = setup[3]
+    __, words, digest, __phase = record.views[0]
+    assert record.position_of(digest) == 0
+    assert record.position_of(b"nope") is None
+
+
+def test_oracle_chain_matches_future(setup):
+    workload, config, recognized, record = setup
+    # Reconstruct the tracker state at a known boundary and ask the
+    # oracle for the future: it must return the recorded projections.
+    tracker = ExcitationTracker(workload.program.layout, config)
+    oracle = OracleAllocator(record, max_rollout=4)
+
+    position = 2
+    __, words, digest, __phase = record.views[position]
+    view = None
+    # Rebuild a live view by replaying boundary states is heavy; use the
+    # recorded words directly through the record's own digests instead.
+    class FakeView:
+        def __init__(self, digest):
+            self._digest = digest
+
+        def digest(self):
+            return self._digest
+
+    oracle.advance(FakeView(digest))
+    assert len(oracle.chain) == 4
+    for offset, step in enumerate(oracle.chain, start=1):
+        __, expected, expected_digest, __p = record.views[position + offset]
+        assert step.digest == expected_digest
+        assert (step.word_values == expected).all()
+    assert oracle.probabilities() == [1.0] * 4
+    assert oracle.dispatch_order(100, 0.5) == [0, 1, 2, 3]
+    del view, words, tracker
+
+
+def test_oracle_unknown_state_gives_empty_chain(setup):
+    record = setup[3]
+    oracle = OracleAllocator(record, max_rollout=4)
+
+    class FakeView:
+        @staticmethod
+        def digest():
+            return b"unknown-digest"
+
+    oracle.advance(FakeView())
+    assert oracle.chain == []
+    assert oracle.unknown_states == 1
+
+
+def test_chain_truncated_at_record_end(setup):
+    record = setup[3]
+    oracle = OracleAllocator(record, max_rollout=1000)
+
+    class FakeView:
+        def __init__(self, digest):
+            self._digest = digest
+
+        def digest(self):
+            return self._digest
+
+    last_pos = len(record.views) - 3
+    oracle.advance(FakeView(record.views[last_pos][2]))
+    assert len(oracle.chain) == 2

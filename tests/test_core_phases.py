@@ -1,0 +1,98 @@
+"""Multi-phase recognition: programs whose hot loop changes mid-run."""
+
+import pytest
+
+from repro.bench import build_mm2
+from repro.cluster import CostModel, server32
+from repro.core.engine import ParallelEngine
+from repro.core.oracle import TrajectoryRecord
+from repro.core.recognizer import Recognizer
+from repro.minic import compile_source
+
+
+@pytest.fixture(scope="module")
+def two_phase_setup():
+    """A program with two distinct, sequential hot loops."""
+    program = compile_source("""
+        int arr_a[150];
+        int arr_b[150];
+        int main() {
+            int i;
+            for (i = 0; i < 150; i++) {      // phase A
+                int j; int acc = 0;
+                for (j = 0; j < 12; j++) acc += j * (j + 1);
+                arr_a[i] = acc + i;
+            }
+            for (i = 0; i < 150; i++) {      // phase B: different loop
+                int k; int acc = 1;
+                for (k = 0; k < 12; k++) acc ^= acc << (k & 3);
+                arr_b[i] = acc + i * 5;
+            }
+            return arr_a[10] + arr_b[10];
+        }
+    """, name="two_phase")
+    config = None
+    from repro.core.config import EngineConfig
+    config = EngineConfig(recognizer_window=25_000,
+                          min_superstep_instructions=80,
+                          converge_supersteps_charge=2.0)
+    recognized = Recognizer(config).find(program)
+    record = TrajectoryRecord(program, recognized, config)
+    return program, config, recognized, record
+
+
+def test_record_discovers_second_phase(two_phase_setup):
+    __, __, __, record = two_phase_setup
+    assert len(record.phases) >= 2
+    assert record.phases[0].ip != record.phases[1].ip
+
+
+def test_views_tagged_by_phase(two_phase_setup):
+    record = two_phase_setup[3]
+    phases = {v[3] for v in record.views}
+    assert len(phases) >= 2
+    # Phase indices appear in order.
+    sequence = [v[3] for v in record.views]
+    assert sequence == sorted(sequence)
+
+
+def test_engine_follows_phase_plan(two_phase_setup):
+    program, config, recognized, record = two_phase_setup
+    factor = recognized.superstep_instructions / 2.3e6 / 5.217
+    engine = ParallelEngine(program, server32(16, CostModel().scaled(factor)),
+                            config=config, recognized=recognized,
+                            record=record)
+    result = engine.run()
+    assert result.stats.phase_transitions >= 1
+    # Both phases contributed fast-forwards: more hits than one phase
+    # alone could provide.
+    assert result.stats.hits > 150 / recognized.stride * 0.6
+    assert (result.stats.instructions_executed
+            + result.stats.instructions_fast_forwarded) \
+        == result.total_instructions
+
+
+def test_oracle_respects_phase_boundaries(two_phase_setup):
+    program, config, recognized, record = two_phase_setup
+    factor = recognized.superstep_instructions / 2.3e6 / 5.217
+    engine = ParallelEngine(program, server32(16, CostModel().scaled(factor)),
+                            config=config, recognized=recognized,
+                            record=record, oracle=True)
+    result = engine.run()
+    assert result.stats.hits > 0
+    assert (result.stats.instructions_executed
+            + result.stats.instructions_fast_forwarded) \
+        == result.total_instructions
+
+
+def test_mm2_phase_coverage():
+    """2mm must end up with superstep coverage of BOTH loop nests —
+    either via the shared dot-product RIP (small sizes, where the search
+    window sees both nests) or via a two-phase plan (larger sizes)."""
+    workload = build_mm2(n=12)
+    config = workload.config.replace(converge_supersteps_charge=2.0)
+    recognized = Recognizer(config).find(workload.program)
+    record = TrajectoryRecord(workload.program, recognized, config)
+    # Boundaries must tile well beyond one nest's share of the run.
+    assert record.n_boundaries * record.mean_superstep_instructions \
+        > 0.7 * record.total_instructions

@@ -1,0 +1,189 @@
+"""Individual predictors: each learns the pattern it is built for."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.excitation import ObservationView
+from repro.core.predictors import (
+    LinearRegressionPredictor,
+    LogisticPredictor,
+    MeanPredictor,
+    WeathermanPredictor,
+)
+
+
+def make_views(word_sequences):
+    """Build ObservationViews directly from per-step word-value tuples."""
+    views = []
+    for idx, step in enumerate(word_sequences):
+        words = np.array([v & 0xFFFFFFFF for v in step], dtype=np.uint32)
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        views.append(ObservationView(words, bits, version=1, index=idx))
+    return views, None
+
+
+def train(predictor, views):
+    for prev, nxt in zip(views, views[1:]):
+        predictor.update(prev, nxt)
+
+
+def predicted_words(predictor, view):
+    bits, conf = predictor.predict(view)
+    return np.packbits(bits, bitorder="little").view("<u4").tolist(), conf
+
+
+class TestMean:
+    def test_learns_majority(self):
+        views, __ = make_views([(1,), (1,), (1,), (0,), (1,)])
+        predictor = MeanPredictor()
+        train(predictor, views)
+        words, conf = predicted_words(predictor, views[-1])
+        assert words == [1]
+
+    def test_confidence_grows_with_agreement(self):
+        views, __ = make_views([(1,)] * 10)
+        predictor = MeanPredictor()
+        train(predictor, views)
+        __, conf = predictor.predict(views[-1])
+        # Bit 0 is always 1: high confidence.
+        assert conf[0] > 0.85
+
+
+class TestWeatherman:
+    def test_predicts_current(self):
+        views, __ = make_views([(5,), (9,)])
+        predictor = WeathermanPredictor()
+        train(predictor, views)
+        words, __ = predicted_words(predictor, views[-1])
+        assert words == [9]
+
+
+class TestLinearRegression:
+    def test_learns_increment(self):
+        views, __ = make_views([(i,) for i in range(10)])
+        predictor = LinearRegressionPredictor()
+        train(predictor, views)
+        words, __ = predicted_words(predictor, views[-1])
+        assert words == [10]
+
+    def test_learns_stride(self):
+        views, __ = make_views([(1000 + 68 * i,) for i in range(8)])
+        predictor = LinearRegressionPredictor()
+        train(predictor, views)
+        words, __ = predicted_words(predictor, views[-1])
+        assert words == [1000 + 68 * 8]
+
+    def test_learns_affine_map(self):
+        # x' = 3x + 7 (e.g. an LCG-like update).
+        seq = [11]
+        for __ in range(9):
+            seq.append(3 * seq[-1] + 7)
+        views, __ = make_views([(v,) for v in seq])
+        predictor = LinearRegressionPredictor()
+        train(predictor, views)
+        words, __ = predicted_words(predictor, views[-1])
+        assert words == [(3 * seq[-1] + 7) & 0xFFFFFFFF]
+
+    def test_robust_to_wraparound_outlier(self):
+        # A mod-8 loop counter: mostly +1 with a wrap discontinuity.
+        seq = [i % 8 for i in range(20)]
+        views, __ = make_views([(v,) for v in seq])
+        predictor = LinearRegressionPredictor()
+        train(predictor, views)
+        # From a mid-range value the consensus affine (+1) must win
+        # despite the wrap outliers that poison a least-squares fit.
+        assert views[-2].word_values[0] == 18 % 8
+        words, __ = predicted_words(predictor, views[-2])
+        assert words == [18 % 8 + 1]
+
+    def test_constant_word(self):
+        views, __ = make_views([(42,)] * 8)
+        predictor = LinearRegressionPredictor()
+        train(predictor, views)
+        words, __ = predicted_words(predictor, views[-1])
+        assert words == [42]
+
+    def test_wraps_mod_2_32(self):
+        start = 0xFFFFFFFE
+        views, __ = make_views([((start + i) & 0xFFFFFFFF,)
+                                for i in range(8)])
+        predictor = LinearRegressionPredictor()
+        train(predictor, views)
+        words, __ = predicted_words(predictor, views[-1])
+        assert words == [(start + 8) & 0xFFFFFFFF]
+
+    @settings(max_examples=25, deadline=None)
+    @given(slope=st.integers(-5, 5), intercept=st.integers(-100, 100),
+           start=st.integers(0, 1000))
+    def test_exact_affine_property(self, slope, intercept, start):
+        seq = [start]
+        for __ in range(8):
+            seq.append((slope * seq[-1] + intercept) & 0xFFFFFFFF)
+        views, __ = make_views([(v,) for v in seq])
+        predictor = LinearRegressionPredictor()
+        train(predictor, views)
+        words, __ = predicted_words(predictor, views[-1])
+        assert words == [(slope * seq[-1] + intercept) & 0xFFFFFFFF]
+
+    def test_multiple_independent_words(self):
+        views, __ = make_views([(i, 1000 - 2 * i, 5) for i in range(10)])
+        predictor = LinearRegressionPredictor()
+        train(predictor, views)
+        words, __ = predicted_words(predictor, views[-1])
+        assert words == [10, 1000 - 20, 5]
+
+
+class TestLogistic:
+    def test_learns_constant_bits(self):
+        views, __ = make_views([(0xF0,)] * 12)
+        predictor = LogisticPredictor(learning_rate=0.5)
+        train(predictor, views)
+        words, __ = predicted_words(predictor, views[-1])
+        assert words == [0xF0]
+
+    def test_learns_alternating_bit(self):
+        # Bit 0 alternates; logistic learns next = !current from the
+        # word's own bits.
+        views, __ = make_views([(i % 2,) for i in range(24)])
+        predictor = LogisticPredictor(learning_rate=0.5)
+        train(predictor, views)
+        words, __ = predicted_words(predictor, views[-1])
+        assert words == [(len(views)) % 2]
+
+    def test_instance_name_includes_rate(self):
+        assert "0.5" in LogisticPredictor(0.5).instance_name
+
+
+class TestInterface:
+    def test_paper_per_bit_adapters(self):
+        views, __ = make_views([(i,) for i in range(8)])
+        predictor = LinearRegressionPredictor()
+        for prev, nxt in zip(views, views[1:]):
+            predictor.update_bit(prev, nxt, j=0)
+        assert predictor.predict_bit(views[-1], j=0) == (8 & 1)
+
+    def test_reset_discards_model(self):
+        views, __ = make_views([(i,) for i in range(8)])
+        predictor = LinearRegressionPredictor()
+        train(predictor, views)
+        predictor.reset()
+        words, __ = predicted_words(predictor, views[-1])
+        assert words == [7]  # back to persistence fallback
+
+    @pytest.mark.parametrize("cls", [MeanPredictor, WeathermanPredictor,
+                                     LinearRegressionPredictor])
+    def test_confidence_in_range(self, cls):
+        views, __ = make_views([(i,) for i in range(8)])
+        predictor = cls()
+        train(predictor, views)
+        __, conf = predictor.predict(views[-1])
+        assert ((conf >= 0.5) & (conf <= 1.0)).all()
+
+    def test_capacity_growth_preserves_predictions(self):
+        views, __ = make_views([(i,) for i in range(8)])
+        predictor = LinearRegressionPredictor()
+        train(predictor, views)
+        predictor.ensure_capacity(64)  # grow to 2 words
+        bits, conf = predictor.predict(views[-1])
+        assert len(bits) == 32  # prediction sized to the view

@@ -1,0 +1,154 @@
+"""Recognizer: IP selection on programs with known structure."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.config import EngineConfig
+from repro.core.recognizer import Recognizer
+from repro.errors import EngineError
+from repro.minic import compile_source
+
+
+def make_config(**kwargs):
+    defaults = dict(recognizer_window=20_000,
+                    min_superstep_instructions=50,
+                    recognizer_validate_states=16)
+    defaults.update(kwargs)
+    return EngineConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def outer_inner_program():
+    """Outer loop of 200 iterations, inner busywork of ~20 instructions."""
+    return compile_source("""
+        int acc;
+        int main() {
+            int i; int j;
+            for (i = 0; i < 200; i++) {
+                for (j = 0; j < 8; j++) {
+                    acc += i ^ j;
+                }
+            }
+            return acc;
+        }
+    """, name="outer_inner")
+
+
+def test_finds_a_loop_ip(outer_inner_program):
+    recognized = Recognizer(make_config()).find(outer_inner_program)
+    # The recognized superstep must meet the minimum spacing and recur.
+    assert recognized.superstep_instructions >= 50
+    assert recognized.mean_gap > 0
+    assert recognized.training_states
+
+
+def test_stride_groups_frequent_ips():
+    """A single tight loop forces the recognizer to stride occurrences —
+    the paper's Collatz adaptation."""
+    program = assemble("""
+        .entry start
+        start:
+            mov eax, 0
+        top:
+            inc eax
+            add ebx, eax
+            xor ebx, eax
+            cmp eax, 3000
+            jl top
+            hlt
+    """, name="tight")
+    recognized = Recognizer(make_config(
+        min_superstep_instructions=100)).find(program)
+    assert recognized.stride > 1
+    assert recognized.stride * recognized.mean_gap >= 100
+
+
+def test_too_short_program_raises():
+    program = assemble(".entry start\nstart:\n nop\n hlt\n")
+    config = make_config(recognizer_window=100,
+                         recognizer_max_window_doublings=1)
+    with pytest.raises(EngineError):
+        Recognizer(config).find(program)
+
+
+def test_adaptive_window_growth():
+    """A long setup phase starves the steady loop in the initial window;
+    the recognizer must widen and still find the steady loop."""
+    program = compile_source("""
+        int data[64];
+        int out;
+        int main() {
+            int i; int k;
+            for (i = 0; i < 64; i++) {      // setup: dies early
+                data[i] = i * 3;
+            }
+            for (k = 0; k < 300; k++) {     // steady state
+                int j;
+                int e = 0;
+                for (j = 0; j < 16; j++) e += data[j % 16] * k;
+                out += e;
+            }
+            return out;
+        }
+    """, name="setup_then_loop")
+    config = make_config(recognizer_window=2_000,
+                         recognizer_max_window_doublings=4)
+    recognized = Recognizer(config).find(program)
+    # The chosen IP must belong to the live steady phase, not the
+    # finished setup loop.
+    chosen = [c for c in recognized.candidates if c.ip == recognized.ip]
+    assert chosen and chosen[0].alive
+
+
+def test_candidate_reports_populated(outer_inner_program):
+    recognized = Recognizer(make_config()).find(outer_inner_program)
+    assert recognized.candidates
+    validated = [c for c in recognized.candidates if c.validated]
+    assert validated
+    for c in validated:
+        assert 0.0 <= c.accuracy <= 1.0
+
+
+def test_speculation_budget_covers_heavy_tail():
+    recognized = Recognizer(make_config()).find(
+        compile_source("""
+            int out;
+            int main() {
+                int n;
+                for (n = 1; n < 300; n++) {
+                    int x = n;
+                    while (x != 1) {
+                        if (x % 2 == 0) x = x / 2; else x = 3 * x + 1;
+                    }
+                    out++;
+                }
+                return out;
+            }
+        """, name="mini_collatz"))
+    budget = recognized.speculation_budget(4.0)
+    assert budget >= recognized.max_gap * recognized.stride
+
+
+def test_memoization_variant_prefers_recurring_states():
+    """For Collatz-like code the memo recognizer must pick an inner-loop
+    IP (whose x values recur across outer iterations), not the outer
+    counter (which never repeats)."""
+    program = compile_source("""
+        int out;
+        int main() {
+            int n;
+            for (n = 1; n < 400; n++) {
+                int x = n;
+                while (x != 1) {
+                    if (x % 2 == 0) x = x / 2; else x = 3 * x + 1;
+                }
+                out++;
+            }
+            return out;
+        }
+    """, name="memo_collatz")
+    config = make_config(min_superstep_instructions=40,
+                         recognizer_validate_states=96)
+    recognized = Recognizer(config).find_for_memoization(program)
+    # Inner-loop supersteps are much shorter than an outer iteration.
+    assert recognized.superstep_instructions < 400

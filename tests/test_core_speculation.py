@@ -1,0 +1,100 @@
+"""Speculative execution workers."""
+
+from repro.asm import assemble
+from repro.core.speculation import run_speculation
+from repro.machine.layout import STATUS_OFF
+
+
+def loop_program():
+    return assemble("""
+        .entry start
+        start:
+            mov eax, 0
+        top:
+            inc eax
+            cmp eax, 20
+            jl top
+            store [done], eax
+            hlt
+        .data
+        done: .word 0
+    """, name="spec")
+
+
+def at_boundary(program):
+    machine = program.make_machine()
+    top = program.symbol("top")
+    machine.run(max_instructions=10_000, break_ips=frozenset((top,)))
+    return machine, top
+
+
+def test_single_crossing_superstep():
+    program = loop_program()
+    machine, top = at_boundary(program)
+    result = run_speculation(machine.context, bytes(machine.state.buf),
+                             top, 1, 1000)
+    assert result.ok
+    assert result.entry.occurrences == 1
+    assert result.entry.length == 3  # inc, cmp, jl
+
+
+def test_multi_crossing_stride():
+    program = loop_program()
+    machine, top = at_boundary(program)
+    result = run_speculation(machine.context, bytes(machine.state.buf),
+                             top, 4, 1000)
+    assert result.ok
+    assert result.entry.occurrences == 4
+    assert result.entry.length == 12
+
+
+def test_start_buffer_not_modified():
+    program = loop_program()
+    machine, top = at_boundary(program)
+    start = bytes(machine.state.buf)
+    run_speculation(machine.context, start, top, 2, 1000)
+    assert bytes(machine.state.buf) == start
+
+
+def test_budget_exhaustion_yields_no_entry():
+    program = loop_program()
+    machine, top = at_boundary(program)
+    result = run_speculation(machine.context, bytes(machine.state.buf),
+                             top, 1, 2)  # 2 instructions: cannot cross
+    assert not result.ok
+    assert result.fault == "budget exhausted"
+    assert result.instructions == 2
+
+
+def test_halt_terminates_speculation_with_entry():
+    program = loop_program()
+    machine, top = at_boundary(program)
+    # Ask for far more crossings than remain: ends at HLT.
+    result = run_speculation(machine.context, bytes(machine.state.buf),
+                             top, 10_000, 100_000)
+    assert result.ok
+    assert result.halted
+    # The entry's end projection includes the halted status byte.
+    assert STATUS_OFF in result.entry.end_indices.tolist()
+
+
+def test_garbage_state_faults_cleanly():
+    program = loop_program()
+    machine, top = at_boundary(program)
+    garbage = bytearray(machine.state.buf)
+    # Point EIP into unmapped low memory.
+    garbage[32:36] = (0).to_bytes(4, "little")
+    result = run_speculation(machine.context, bytes(garbage), top, 1, 1000)
+    assert not result.ok
+    assert result.fault is not None
+
+
+def test_already_halted_state_yields_no_entry():
+    program = loop_program()
+    machine = program.make_machine()
+    machine.run(max_instructions=100_000)
+    assert machine.halted
+    result = run_speculation(machine.context, bytes(machine.state.buf),
+                             program.symbol("top"), 1, 1000)
+    assert not result.ok
+    assert result.instructions == 0

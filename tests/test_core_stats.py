@@ -1,0 +1,94 @@
+"""Prediction statistics: the Table 2 computations."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictors.ensemble import ObserveOutcome
+from repro.core.stats import PredictionStats, RunStats
+
+
+def outcome(actual, ensemble, equal, experts):
+    actual = np.array(actual, dtype=np.uint8)
+    return ObserveOutcome(
+        True,
+        [np.array(e, dtype=np.uint8) != actual for e in experts],
+        np.array(ensemble, dtype=np.uint8),
+        np.array(equal, dtype=np.uint8),
+        actual)
+
+
+def test_unscored_outcomes_ignored():
+    stats = PredictionStats(["a", "b"])
+    stats.record(ObserveOutcome(False, None, None, None,
+                                np.zeros(4, dtype=np.uint8)))
+    assert stats.total_predictions() == 0
+    assert stats.actual_error_rate() == 0.0
+
+
+def test_actual_and_equal_rates():
+    stats = PredictionStats(["a", "b"])
+    # Observation 1: ensemble right, equal-weight wrong.
+    stats.record(outcome([1, 0], ensemble=[1, 0], equal=[0, 0],
+                         experts=[[1, 0], [0, 0]]))
+    # Observation 2: both wrong.
+    stats.record(outcome([1, 1], ensemble=[1, 0], equal=[0, 0],
+                         experts=[[1, 1], [0, 0]]))
+    assert stats.actual_error_rate() == pytest.approx(0.5)
+    assert stats.equal_weight_error_rate() == pytest.approx(1.0)
+    assert stats.total_predictions() == 2
+    assert stats.incorrect_predictions() == 1
+
+
+def test_hindsight_picks_best_expert_per_bit():
+    stats = PredictionStats(["bit0_expert", "bit1_expert"])
+    # Expert 0 always right on bit 0, wrong on bit 1; expert 1 inverse.
+    for actual in ([1, 0], [0, 1], [1, 1], [0, 0]):
+        experts = [[actual[0], 1 - actual[1]],
+                   [1 - actual[0], actual[1]]]
+        stats.record(outcome(actual, ensemble=experts[0],
+                             equal=experts[0], experts=experts))
+    # Hindsight: expert0 for bit0, expert1 for bit1 -> zero error.
+    assert stats.hindsight_error_rate() == 0.0
+    assert stats.actual_error_rate() == 1.0  # ensemble followed expert 0
+
+
+def test_relevant_bits_mask():
+    stats = PredictionStats(["only"])
+    # Wrong only on bit 1, which is irrelevant.
+    stats.record(outcome([1, 0], ensemble=[1, 1], equal=[1, 1],
+                         experts=[[1, 1]]))
+    assert stats.actual_error_rate() == 1.0
+    assert stats.actual_error_rate(relevant_bits={0}) == 0.0
+    assert stats.incorrect_predictions(relevant_bits={0}) == 0
+
+
+def test_growing_bit_count_padded():
+    stats = PredictionStats(["a"])
+    stats.record(outcome([1], ensemble=[0], equal=[0], experts=[[0]]))
+    stats.record(outcome([1, 1], ensemble=[1, 1], equal=[1, 1],
+                         experts=[[1, 1]]))
+    assert stats.total_predictions() == 2
+    assert stats.actual_error_rate() == pytest.approx(0.5)
+    totals = stats.per_expert_bit_error_totals()
+    assert totals.shape == (1, 2)
+    assert totals[0, 0] == 1
+
+
+def test_run_stats_rates():
+    stats = RunStats()
+    stats.hits = 3
+    stats.misses = 1
+    assert stats.hit_rate == pytest.approx(0.75)
+    assert stats.miss_rate == pytest.approx(0.25)
+    stats.queries = 2
+    stats.query_bits_total = 600
+    assert stats.mean_query_bits == 300
+    as_dict = stats.as_dict()
+    assert as_dict["hits"] == 3
+    assert as_dict["hit_rate"] == pytest.approx(0.75)
+
+
+def test_run_stats_empty_division():
+    stats = RunStats()
+    assert stats.hit_rate == 0.0
+    assert stats.mean_query_bits == 0.0

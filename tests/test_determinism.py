@@ -1,0 +1,50 @@
+"""Reproducibility: identical inputs give identical experiments."""
+
+import pytest
+
+from repro.bench import build_ising
+from repro.cluster import CostModel, server32
+from repro.core.engine import ParallelEngine
+from repro.core.oracle import TrajectoryRecord
+from repro.core.recognizer import Recognizer
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_ising(nodes=64, spins=6)
+
+
+def test_recognition_is_deterministic(workload):
+    a = Recognizer(workload.config).find(workload.program)
+    b = Recognizer(workload.config).find(workload.program)
+    assert a.ip == b.ip
+    assert a.stride == b.stride
+    assert a.mean_gap == b.mean_gap
+
+
+def test_record_is_deterministic(workload):
+    recognized = Recognizer(workload.config).find(workload.program)
+    a = TrajectoryRecord(workload.program, recognized, workload.config)
+    b = TrajectoryRecord(workload.program, recognized, workload.config)
+    assert a.total_instructions == b.total_instructions
+    assert a.boundary_positions == b.boundary_positions
+    assert [v[2] for v in a.views] == [v[2] for v in b.views]
+
+
+def test_engine_runs_are_deterministic(workload):
+    config = workload.config.replace(converge_supersteps_charge=2.0)
+    recognized = Recognizer(config).find(workload.program)
+    record = TrajectoryRecord(workload.program, recognized, config)
+    factor = recognized.superstep_instructions / 2.3e6 / 5.217
+    platform = server32(8, CostModel().scaled(factor))
+
+    def one_run():
+        return ParallelEngine(workload.program, platform, config=config,
+                              recognized=recognized, record=record).run()
+
+    a, b = one_run(), one_run()
+    assert a.scaling == b.scaling
+    assert a.stats.hits == b.stats.hits
+    assert a.stats.misses_late == b.stats.misses_late
+    assert a.stats.misses_nomatch == b.stats.misses_nomatch
+    assert a.makespan_seconds == b.makespan_seconds

@@ -1,0 +1,47 @@
+"""Error hierarchy and small shared utilities."""
+
+import pytest
+
+from repro import errors
+from repro.bench.workload import PAPER_SUPERSTEP_SECONDS, Workload
+from repro.minic import compile_source
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in ("EncodingError", "AssemblerError", "MiniCError",
+                     "MachineError", "SegmentationFault",
+                     "IllegalInstruction", "CodeWriteError", "LoaderError",
+                     "EngineError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_faults_are_machine_errors(self):
+        assert issubclass(errors.SegmentationFault, errors.MachineError)
+        assert issubclass(errors.IllegalInstruction, errors.MachineError)
+        assert issubclass(errors.CodeWriteError, errors.MachineError)
+
+    def test_line_numbers_in_messages(self):
+        err = errors.AssemblerError("boom", line=7)
+        assert "line 7" in str(err)
+        assert err.line == 7
+        err = errors.MiniCError("bad", line=3)
+        assert "line 3" in str(err)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(errors.ReproError):
+            compile_source("int main() { return missing; }")
+
+
+class TestWorkload:
+    def test_paper_superstep_constant(self):
+        # 1.2e7 instructions at 2.3 MIPS (Table 1 + §5.3).
+        assert PAPER_SUPERSTEP_SECONDS == pytest.approx(1.2e7 / 2.3e6)
+
+    def test_workload_defaults(self):
+        program = compile_source("int main() { return 0; }")
+        workload = Workload("w", program)
+        assert workload.config is not None
+        assert workload.params == {}
+        assert workload.expected == {}
+        assert "w" in repr(workload)

@@ -1,0 +1,125 @@
+"""Encoding/decoding of SVM32 instructions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import (
+    AddrMode,
+    INSTRUCTION_SIZE,
+    Instruction,
+    MemOperand,
+    Op,
+    OperandShape,
+    OPCODE_INFO,
+    decode,
+    encode,
+)
+
+
+def test_instruction_size_is_eight_bytes():
+    assert INSTRUCTION_SIZE == 8
+    assert len(encode(Op.NOP)) == 8
+
+
+def test_simple_roundtrip():
+    raw = encode(Op.ADD_RI, ra=3, imm=-42)
+    op, mode, ra, rb, imm = decode(raw)
+    assert op == Op.ADD_RI
+    assert ra == 3
+    assert imm == -42
+
+
+def test_unsigned_immediate_roundtrips_as_signed():
+    raw = encode(Op.MOV_RI, ra=0, imm=0xFFFFFFFF)
+    __, __, __, __, imm = decode(raw)
+    assert imm == -1
+
+
+def test_immediate_out_of_range_rejected():
+    with pytest.raises(EncodingError):
+        encode(Op.MOV_RI, imm=1 << 32)
+    with pytest.raises(EncodingError):
+        encode(Op.MOV_RI, imm=-(1 << 31) - 1)
+
+
+def test_unknown_opcode_byte_rejected():
+    raw = bytes([0xEE]) + bytes(7)
+    with pytest.raises(EncodingError):
+        decode(raw)
+
+
+def test_truncated_instruction_rejected():
+    with pytest.raises(EncodingError):
+        decode(b"\x00\x00\x00")
+
+
+@given(
+    op=st.sampled_from(sorted(Op)),
+    mode=st.integers(0, 4),
+    ra=st.integers(0, 7),
+    rb=st.integers(0, 255),
+    imm=st.integers(-(1 << 31), (1 << 31) - 1),
+)
+def test_roundtrip_property(op, mode, ra, rb, imm):
+    raw = encode(op, mode=mode, ra=ra, rb=rb, imm=imm)
+    assert len(raw) == INSTRUCTION_SIZE
+    assert decode(raw) == (op, mode, ra, rb, imm)
+
+
+@given(
+    op=st.sampled_from(sorted(Op)),
+    mode=st.integers(0, 4),
+    ra=st.integers(0, 7),
+    rb=st.integers(0, 255),
+    imm=st.integers(-(1 << 31), (1 << 31) - 1),
+)
+def test_instruction_object_roundtrip(op, mode, ra, rb, imm):
+    instr = Instruction(op, mode=mode, ra=ra, rb=rb, imm=imm)
+    assert Instruction.decode(instr.encode()) == instr
+
+
+def test_every_opcode_has_metadata():
+    for op in Op:
+        info = OPCODE_INFO[op]
+        assert info.mnemonic
+        assert isinstance(info.shape, OperandShape)
+
+
+def test_opcode_count_in_papers_ballpark():
+    # The paper's simulator implements 79 opcodes; SVM32 implements a
+    # comparable set.
+    assert 60 <= len(Op) <= 90
+
+
+class TestMemOperand:
+    def test_mode_selection(self):
+        assert MemOperand(disp=4).mode() == AddrMode.ABS
+        assert MemOperand(base=1).mode() == AddrMode.BASE
+        assert MemOperand(base=1, index=2).mode() == AddrMode.BASE_INDEX
+        assert MemOperand(base=1, index=2, scale=2).mode() \
+            == AddrMode.BASE_INDEX2
+        assert MemOperand(base=1, index=2, scale=4).mode() \
+            == AddrMode.BASE_INDEX4
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(EncodingError):
+            MemOperand(base=1, index=2, scale=3)
+
+    def test_index_without_base_rejected(self):
+        with pytest.raises(EncodingError):
+            MemOperand(index=2)
+
+    @given(base=st.integers(0, 7), index=st.integers(0, 7),
+           scale=st.sampled_from([1, 2, 4]),
+           disp=st.integers(-(1 << 20), (1 << 20)))
+    def test_field_roundtrip(self, base, index, scale, disp):
+        mem = MemOperand(base=base, index=index, scale=scale, disp=disp)
+        instr = Instruction.with_mem(Op.LOAD, 0, mem)
+        assert Instruction.decode(instr.encode()).mem == mem
+
+    def test_str_rendering(self):
+        mem = MemOperand(base=3, index=6, scale=4, disp=8)
+        assert str(mem) == "[ebx+esi*4+8]"
+        assert str(MemOperand(disp=16)) == "[16]"
+        assert str(MemOperand(base=5, disp=-4)) == "[ebp-4]"

@@ -1,0 +1,65 @@
+"""Program images and initial state materialization."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import LoaderError
+from repro.isa.registers import Reg
+from repro.loader import Program
+
+
+def test_initial_state_layout(counting_program):
+    state = counting_program.initial_state()
+    assert state.eip == counting_program.entry
+    assert state.get_reg(Reg.ESP) == counting_program.layout.mem_size
+    # Code is loaded at code_base.
+    assert state.read_bytes(counting_program.code_base, 8) \
+        == counting_program.code[:8]
+
+
+def test_data_follows_code_aligned(counting_program):
+    assert counting_program.data_base \
+        >= counting_program.code_base + len(counting_program.code)
+    assert counting_program.data_base % 16 == 0
+
+
+def test_code_range_and_counts(counting_program):
+    lo, hi = counting_program.code_range
+    assert hi - lo == len(counting_program.code)
+    assert counting_program.unique_ip_count \
+        == len(counting_program.code) // 8
+
+
+def test_symbol_lookup(counting_program):
+    assert counting_program.symbol("result") >= counting_program.data_base
+    with pytest.raises(LoaderError):
+        counting_program.symbol("missing")
+
+
+def test_mem_size_override():
+    program = assemble("hlt\n", mem_size=65536)
+    assert program.layout.mem_size == 65536
+
+
+def test_mem_size_too_small_rejected():
+    with pytest.raises(LoaderError):
+        assemble(".data\nbig: .space 8192\n.code\nhlt\n", mem_size=4096)
+
+
+def test_entry_outside_code_rejected():
+    with pytest.raises(LoaderError):
+        Program("bad", code=b"\x00" * 8, data=b"", symbols={}, entry=0x999)
+
+
+def test_unaligned_code_base_rejected():
+    with pytest.raises(LoaderError):
+        Program("bad", code=b"\x00" * 8, data=b"", symbols={}, entry=0x44,
+                code_base=0x44)
+
+
+def test_machines_are_independent(counting_program):
+    a = counting_program.make_machine()
+    b = counting_program.make_machine()
+    a.run(max_instructions=5)
+    assert b.instruction_count == 0
+    assert b.state.eip == counting_program.entry

@@ -1,0 +1,82 @@
+"""Dependency tracking through real instruction sequences."""
+
+from repro.asm import assemble
+from repro.machine import DEP_READ, DEP_WAR, DEP_WRITTEN, DepVector
+from repro.machine.layout import EFLAGS_OFF, EIP_OFF, MEM_OFF
+
+
+def run_with_deps(body, data=""):
+    source = ".entry start\nstart:\n%s\n    hlt\n" % body
+    if data:
+        source += ".data\n%s\n" % data
+    program = assemble(source, name="deps")
+    machine = program.make_machine()
+    dep = DepVector(program.layout.size)
+    machine.run(max_instructions=100_000, dep=dep)
+    assert machine.halted
+    return program, machine, dep
+
+
+def test_eip_is_always_war():
+    __, __, dep = run_with_deps("nop")
+    assert all(dep.buf[EIP_OFF + i] == DEP_WAR for i in range(4))
+
+
+def test_pure_write_is_not_a_dependency():
+    program, __, dep = run_with_deps("mov eax, 1\n store [slot], eax",
+                                     data="slot: .word 0")
+    slot = MEM_OFF + program.symbol("slot")
+    assert dep.buf[slot] == DEP_WRITTEN
+    # EAX was written (mov) before being read (store): not a dependency.
+    assert 0 not in dep.read_indices()
+
+
+def test_read_before_write_is_dependency():
+    program, __, dep = run_with_deps(
+        "load eax, [slot]\n inc eax\n store [slot], eax",
+        data="slot: .word 5")
+    slot = MEM_OFF + program.symbol("slot")
+    assert dep.buf[slot] == DEP_WAR
+    assert slot in dep.read_indices()
+    assert slot in dep.written_indices()
+
+
+def test_untouched_memory_stays_null():
+    program, __, dep = run_with_deps("mov eax, 1",
+                                     data="a: .word 1\nb: .word 2")
+    a = MEM_OFF + program.symbol("a")
+    assert dep.buf[a] == 0
+
+
+def test_code_reads_untracked_by_default():
+    program, __, dep = run_with_deps("mov eax, 1")
+    code_start = MEM_OFF + program.code_base
+    assert dep.buf[code_start] == 0
+
+
+def test_code_reads_tracked_in_faithful_mode():
+    source = ".entry start\nstart:\n mov eax, 1\n hlt\n"
+    program = assemble(source)
+    machine = program.make_machine(track_code_reads=True)
+    dep = DepVector(program.layout.size)
+    machine.run(max_instructions=10, dep=dep)
+    code_start = MEM_OFF + program.code_base
+    assert dep.buf[code_start] == DEP_READ
+
+
+def test_flags_tracked():
+    __, __, dep = run_with_deps("mov eax, 1\n cmp eax, 1\n jz over\nover:")
+    # cmp writes flags, jz reads them: written-after-... written first.
+    assert dep.buf[EFLAGS_OFF] == DEP_WRITTEN
+
+
+def test_flag_read_first_is_dependency():
+    # jz reads flags before anything writes them.
+    __, __, dep = run_with_deps("jz over\nover:")
+    assert dep.buf[EFLAGS_OFF] == DEP_READ
+
+
+def test_stack_bytes_tracked():
+    program, machine, dep = run_with_deps("mov eax, 7\n push eax\n pop ebx")
+    top = MEM_OFF + program.layout.mem_size - 4
+    assert dep.buf[top] == DEP_WRITTEN  # pushed before read

@@ -1,0 +1,89 @@
+"""Binary delta codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineError
+from repro.machine.diff import (
+    apply_delta,
+    delta_size_bits,
+    diff_runs,
+    encode_delta,
+)
+
+
+def test_identical_buffers_have_empty_delta():
+    buf = bytes(100)
+    delta = encode_delta(buf, buf)
+    assert len(delta) == 1  # just the zero run count
+    assert apply_delta(buf, delta) == bytearray(buf)
+
+
+def test_single_change():
+    old = bytearray(64)
+    new = bytearray(64)
+    new[10] = 0xAB
+    assert diff_runs(old, new) == [(10, b"\xab")]
+    assert apply_delta(old, encode_delta(old, new)) == new
+
+
+def test_nearby_changes_merge():
+    old = bytearray(64)
+    new = bytearray(64)
+    new[10] = 1
+    new[13] = 2  # gap of 2 <= MERGE_GAP
+    runs = diff_runs(old, new)
+    assert len(runs) == 1
+    assert runs[0][0] == 10
+
+
+def test_distant_changes_stay_separate():
+    old = bytearray(64)
+    new = bytearray(64)
+    new[1] = 1
+    new[40] = 2
+    assert len(diff_runs(old, new)) == 2
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(MachineError):
+        encode_delta(bytes(4), bytes(5))
+
+
+def test_trailing_garbage_rejected():
+    old = bytes(16)
+    delta = encode_delta(old, old) + b"\x01"
+    with pytest.raises(MachineError):
+        apply_delta(old, delta)
+
+
+def test_delta_size_scales_with_changes():
+    old = bytes(10_000)
+    small = bytearray(old)
+    small[5] = 1
+    big = bytearray(old)
+    for i in range(0, 10_000, 100):
+        big[i] = 1
+    assert delta_size_bits(old, small) < delta_size_bits(old, big)
+    assert delta_size_bits(old, small) < len(old) * 8 // 100
+
+
+@given(st.data())
+def test_roundtrip_property(data):
+    n = data.draw(st.integers(1, 256))
+    old = bytes(data.draw(st.binary(min_size=n, max_size=n)))
+    new = bytes(data.draw(st.binary(min_size=n, max_size=n)))
+    delta = encode_delta(old, new)
+    assert apply_delta(old, delta) == bytearray(new)
+
+
+@given(st.data())
+def test_sparse_delta_smaller_than_full_state(data):
+    n = 512
+    old = bytes(n)
+    new = bytearray(old)
+    positions = data.draw(st.lists(st.integers(0, n - 1), min_size=1,
+                                   max_size=5, unique=True))
+    for pos in positions:
+        new[pos] = 0xFF
+    assert len(encode_delta(old, bytes(new))) < n // 4

@@ -1,0 +1,132 @@
+"""StateVector accessors and layout."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineError, SegmentationFault
+from repro.isa.registers import Flag, Reg
+from repro.machine import StateLayout, StateVector
+from repro.machine.layout import MEM_OFF, RESERVED_LOW
+
+
+def make_state(mem_size=4096):
+    return StateVector(StateLayout(mem_size))
+
+
+class TestLayout:
+    def test_size_includes_header(self):
+        layout = StateLayout(4096)
+        assert layout.size == MEM_OFF + 4096
+        assert layout.n_bits == layout.size * 8
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(MachineError):
+            StateLayout(0)
+        with pytest.raises(MachineError):
+            StateLayout(1023)  # not 4-aligned
+
+    def test_vec_index_roundtrip(self):
+        layout = StateLayout(4096)
+        assert layout.mem_addr(layout.vec_index(100)) == 100
+
+    def test_header_index_has_no_mem_addr(self):
+        with pytest.raises(MachineError):
+            StateLayout(4096).mem_addr(4)
+
+
+class TestRegisters:
+    def test_set_get(self):
+        state = make_state()
+        state.set_reg(Reg.EBX, 0xDEADBEEF)
+        assert state.get_reg(Reg.EBX) == 0xDEADBEEF
+
+    def test_wraparound(self):
+        state = make_state()
+        state.set_reg(Reg.EAX, -1)
+        assert state.get_reg(Reg.EAX) == 0xFFFFFFFF
+        assert state.get_reg_signed(Reg.EAX) == -1
+
+    @given(value=st.integers(0, 0xFFFFFFFF), reg=st.sampled_from(sorted(Reg)))
+    def test_register_roundtrip(self, value, reg):
+        state = make_state()
+        state.set_reg(reg, value)
+        assert state.get_reg(reg) == value
+
+    def test_eip_and_flags(self):
+        state = make_state()
+        state.eip = 0x40
+        assert state.eip == 0x40
+        state.set_flag(Flag.ZF, True)
+        assert state.get_flag(Flag.ZF)
+        assert not state.get_flag(Flag.CF)
+        state.set_flag(Flag.ZF, False)
+        assert state.eflags == 0
+
+    def test_halted_flag(self):
+        state = make_state()
+        assert not state.halted
+        state.status = 1
+        assert state.halted
+
+
+class TestMemory:
+    def test_u32_roundtrip_little_endian(self):
+        state = make_state()
+        state.write_u32(0x100, 0x01020304)
+        assert state.read_u32(0x100) == 0x01020304
+        assert state.read_u8(0x100) == 0x04
+        assert state.read_u8(0x103) == 0x01
+
+    def test_signed_read(self):
+        state = make_state()
+        state.write_u32(0x100, 0xFFFFFFFE)
+        assert state.read_i32(0x100) == -2
+
+    def test_reserved_low_faults(self):
+        state = make_state()
+        with pytest.raises(SegmentationFault):
+            state.read_u32(0)
+        with pytest.raises(SegmentationFault):
+            state.read_u32(RESERVED_LOW - 1)
+        state.read_u32(RESERVED_LOW)  # first legal address
+
+    def test_high_bound_faults(self):
+        state = make_state(4096)
+        state.write_u32(4092, 1)
+        with pytest.raises(SegmentationFault):
+            state.write_u32(4093, 1)
+
+    def test_bytes_roundtrip(self):
+        state = make_state()
+        state.write_bytes(0x200, b"hello")
+        assert state.read_bytes(0x200, 5) == b"hello"
+
+    def test_read_words(self):
+        state = make_state()
+        state.write_u32(0x100, 7)
+        state.write_u32(0x104, 0xFFFFFFFF)
+        assert state.read_words(0x100, 2) == [7, -1]
+
+
+class TestIdentity:
+    def test_clone_is_independent(self):
+        state = make_state()
+        state.write_u32(0x100, 42)
+        copy = state.clone()
+        copy.write_u32(0x100, 99)
+        assert state.read_u32(0x100) == 42
+
+    def test_equality(self):
+        a, b = make_state(), make_state()
+        assert a == b
+        b.set_reg(Reg.EAX, 1)
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(make_state())
+
+    def test_differing_indices(self):
+        a, b = make_state(), make_state()
+        b.set_reg(Reg.EAX, 0xFF)
+        assert a.differing_indices(b) == [0]

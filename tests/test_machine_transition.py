@@ -1,0 +1,320 @@
+"""Transition-function semantics: arithmetic, flags, control, memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import assemble
+from repro.errors import CodeWriteError, IllegalInstruction, MachineError
+from repro.isa.registers import Flag, Reg
+from repro.machine import DepVector, Machine
+
+_M = 0xFFFFFFFF
+
+
+def run_asm(body, data="", max_instructions=100_000, dep=False):
+    """Assemble a snippet (appending hlt), run it, return the machine."""
+    source = ".entry start\nstart:\n%s\n    hlt\n" % body
+    if data:
+        source += ".data\n%s\n" % data
+    program = assemble(source, name="snippet")
+    machine = program.make_machine()
+    vector = DepVector(program.layout.size) if dep else None
+    machine.run(max_instructions=max_instructions, dep=vector)
+    assert machine.halted
+    return (machine, vector) if dep else machine
+
+
+def s32(v):
+    v &= _M
+    return v - (1 << 32) if v >= 1 << 31 else v
+
+
+class TestDataMovement:
+    def test_mov(self):
+        m = run_asm("mov eax, 123\n mov ebx, eax")
+        assert m.state.get_reg(Reg.EBX) == 123
+
+    def test_mov_negative(self):
+        m = run_asm("mov eax, -7")
+        assert m.state.get_reg_signed(Reg.EAX) == -7
+
+    def test_xchg(self):
+        m = run_asm("mov eax, 1\n mov ebx, 2\n xchg eax, ebx")
+        assert m.state.get_reg(Reg.EAX) == 2
+        assert m.state.get_reg(Reg.EBX) == 1
+
+    def test_load_store_roundtrip(self):
+        m = run_asm("mov eax, 77\n store [slot], eax\n load ebx, [slot]",
+                    data="slot: .word 0")
+        assert m.state.get_reg(Reg.EBX) == 77
+
+    def test_addressing_modes(self):
+        m = run_asm("""
+            mov ebx, arr
+            mov esi, 2
+            load eax, [ebx+esi*4]      ; arr[2]
+            load ecx, [ebx+4]          ; arr[1]
+            load edx, [arr]            ; arr[0]
+            mov edi, 8
+            load ebp, [ebx+edi]        ; arr[2] via base+index
+        """, data="arr: .word 10, 20, 30")
+        assert m.state.get_reg(Reg.EAX) == 30
+        assert m.state.get_reg(Reg.ECX) == 20
+        assert m.state.get_reg(Reg.EDX) == 10
+        assert m.state.get_reg(Reg.EBP) == 30
+
+    def test_lea(self):
+        m = run_asm("mov ebx, 100\n mov esi, 3\n lea eax, [ebx+esi*4+8]")
+        assert m.state.get_reg(Reg.EAX) == 120
+
+    def test_byte_loads(self):
+        m = run_asm("""
+            load8u eax, [bytes+1]
+            load8s ebx, [bytes+1]
+            mov ecx, 258
+            store8 [bytes], ecx
+            load8u edx, [bytes]
+        """, data="bytes: .byte 1, 0xFF")
+        assert m.state.get_reg(Reg.EAX) == 0xFF
+        assert m.state.get_reg_signed(Reg.EBX) == -1
+        assert m.state.get_reg(Reg.EDX) == 258 & 0xFF
+
+    def test_push_pop(self):
+        m = run_asm("mov eax, 5\n push eax\n push 9\n pop ebx\n pop ecx")
+        assert m.state.get_reg(Reg.EBX) == 9
+        assert m.state.get_reg(Reg.ECX) == 5
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 3, 4, 7),
+        ("add", 0xFFFFFFFF, 1, 0),
+        ("sub", 10, 3, 7),
+        ("sub", 0, 1, _M),
+        ("imul", 6, 7, 42),
+        ("imul", -3, 5, (-15) & _M),
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+    ])
+    def test_binary_rr(self, op, a, b, expected):
+        m = run_asm("mov eax, %d\n mov ebx, %d\n %s eax, ebx"
+                    % (s32(a), s32(b), op))
+        assert m.state.get_reg(Reg.EAX) == expected
+
+    def test_immediate_forms(self):
+        m = run_asm("mov eax, 10\n add eax, -3\n sub eax, 2\n imul eax, 4\n"
+                    " and eax, 0xFF\n or eax, 0x100\n xor eax, 1")
+        assert m.state.get_reg(Reg.EAX) == ((20 & 0xFF) | 0x100) ^ 1
+
+    def test_inc_dec_neg_not(self):
+        m = run_asm("mov eax, 5\n inc eax\n mov ebx, 5\n dec ebx\n"
+                    " mov ecx, 5\n neg ecx\n mov edx, 5\n not edx")
+        assert m.state.get_reg(Reg.EAX) == 6
+        assert m.state.get_reg(Reg.EBX) == 4
+        assert m.state.get_reg_signed(Reg.ECX) == -5
+        assert m.state.get_reg(Reg.EDX) == (~5) & _M
+
+    def test_idiv_signed_truncation(self):
+        m = run_asm("mov eax, -7\n mov ecx, 2\n idiv ecx")
+        assert m.state.get_reg_signed(Reg.EAX) == -3  # trunc toward zero
+        assert m.state.get_reg_signed(Reg.EDX) == -1
+
+    def test_udiv(self):
+        m = run_asm("mov eax, -1\n mov ecx, 2\n udiv ecx")
+        assert m.state.get_reg(Reg.EAX) == 0x7FFFFFFF
+        assert m.state.get_reg(Reg.EDX) == 1
+
+    def test_division_by_zero_raises(self):
+        source = ".entry start\nstart:\n mov eax, 1\n mov ecx, 0\n idiv ecx\n hlt\n"
+        program = assemble(source)
+        machine = program.make_machine()
+        with pytest.raises(MachineError):
+            machine.run(max_instructions=100)
+
+    def test_shifts(self):
+        m = run_asm("mov eax, 1\n shl eax, 4\n"
+                    " mov ebx, 0x80000000\n sar ebx, 31\n"
+                    " mov ecx, 0x80000000\n shr ecx, 31\n"
+                    " mov edx, 3\n mov esi, 2\n shl edx, esi")
+        assert m.state.get_reg(Reg.EAX) == 16
+        assert m.state.get_reg(Reg.EBX) == _M  # arithmetic: sign fills
+        assert m.state.get_reg(Reg.ECX) == 1
+        assert m.state.get_reg(Reg.EDX) == 12
+
+    def test_adc_sbb(self):
+        m = run_asm("""
+            mov eax, 0xFFFFFFFF
+            mov ebx, 1
+            add eax, ebx        ; sets CF
+            mov ecx, 0
+            mov edx, 0
+            adc ecx, edx        ; ecx = 0 + 0 + CF = 1
+        """)
+        assert m.state.get_reg(Reg.ECX) == 1
+
+
+class TestFlags:
+    def test_zero_flag(self):
+        m = run_asm("mov eax, 1\n sub eax, 1")
+        assert m.state.get_flag(Flag.ZF)
+
+    def test_sign_flag(self):
+        m = run_asm("mov eax, 0\n sub eax, 1")
+        assert m.state.get_flag(Flag.SF)
+
+    def test_carry_on_unsigned_overflow(self):
+        m = run_asm("mov eax, 0xFFFFFFFF\n add eax, 1")
+        assert m.state.get_flag(Flag.CF)
+        assert m.state.get_flag(Flag.ZF)
+
+    def test_overflow_on_signed_overflow(self):
+        m = run_asm("mov eax, 0x7FFFFFFF\n add eax, 1")
+        assert m.state.get_flag(Flag.OF)
+        assert not m.state.get_flag(Flag.CF)
+
+    def test_cmp_does_not_modify_operands(self):
+        m = run_asm("mov eax, 3\n cmp eax, 9")
+        assert m.state.get_reg(Reg.EAX) == 3
+
+    def test_inc_preserves_carry(self):
+        m = run_asm("mov eax, 0xFFFFFFFF\n add eax, 1\n mov ebx, 1\n inc ebx")
+        assert m.state.get_flag(Flag.CF)
+
+    @given(a=st.integers(0, _M), b=st.integers(0, _M))
+    def test_add_flags_model(self, a, b):
+        m = run_asm("mov eax, %d\n mov ebx, %d\n add eax, ebx"
+                    % (s32(a), s32(b)))
+        result = (a + b) & _M
+        assert m.state.get_reg(Reg.EAX) == result
+        assert m.state.get_flag(Flag.CF) == (a + b > _M)
+        assert m.state.get_flag(Flag.ZF) == (result == 0)
+        assert m.state.get_flag(Flag.SF) == bool(result & 0x80000000)
+        overflow = not (-(1 << 31) <= s32(a) + s32(b) < (1 << 31))
+        assert m.state.get_flag(Flag.OF) == overflow
+
+    @given(a=st.integers(0, _M), b=st.integers(0, _M))
+    def test_sub_flags_model(self, a, b):
+        m = run_asm("mov eax, %d\n mov ebx, %d\n sub eax, ebx"
+                    % (s32(a), s32(b)))
+        result = (a - b) & _M
+        assert m.state.get_reg(Reg.EAX) == result
+        assert m.state.get_flag(Flag.CF) == (b > a)
+        overflow = not (-(1 << 31) <= s32(a) - s32(b) < (1 << 31))
+        assert m.state.get_flag(Flag.OF) == overflow
+
+    @given(a=st.integers(-(1 << 31), (1 << 31) - 1),
+           b=st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_imul_wraps_mod_2_32(self, a, b):
+        m = run_asm("mov eax, %d\n mov ebx, %d\n imul eax, ebx" % (a, b))
+        assert m.state.get_reg(Reg.EAX) == (a * b) & _M
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize("jcc,a,b,taken", [
+        ("jz", 5, 5, True), ("jz", 5, 6, False),
+        ("jnz", 5, 6, True), ("jnz", 5, 5, False),
+        ("jl", -1, 0, True), ("jl", 0, -1, False),
+        ("jle", 3, 3, True), ("jle", 4, 3, False),
+        ("jg", 1, 0, True), ("jg", 0, 0, False),
+        ("jge", 0, 0, True), ("jge", -2, -1, False),
+        ("jb", 1, 2, True), ("jb", 0xFFFFFFFF - 1, 1, False),
+        ("jbe", 2, 2, True), ("jbe", 3, 2, False),
+        ("ja", 3, 2, True), ("ja", 2, 2, False),
+        ("jae", 2, 2, True), ("jae", 1, 2, False),
+        ("js", -3, 0, True), ("js", 3, 0, False),
+        ("jns", 3, 0, True), ("jns", -3, 0, False),
+    ])
+    def test_conditions(self, jcc, a, b, taken):
+        m = run_asm("""
+            mov eax, %d
+            mov ebx, %d
+            cmp eax, ebx
+            %s yes
+            mov ecx, 0
+            jmp done
+        yes:
+            mov ecx, 1
+        done:
+        """ % (s32(a & _M), s32(b & _M), jcc))
+        assert m.state.get_reg(Reg.ECX) == (1 if taken else 0)
+
+    def test_call_ret(self):
+        m = run_asm("""
+            mov eax, 1
+            call fn
+            add eax, 100
+            jmp done
+        fn:
+            add eax, 10
+            ret
+        done:
+        """)
+        assert m.state.get_reg(Reg.EAX) == 111
+
+    def test_indirect_jump_and_call(self):
+        m = run_asm("""
+            mov eax, fn
+            callr eax
+            mov ebx, tail
+            jmpr ebx
+            mov ecx, 666      ; skipped
+        tail:
+            jmp done
+        fn:
+            mov ecx, 42
+            ret
+        done:
+        """)
+        assert m.state.get_reg(Reg.ECX) == 42
+
+    def test_setcc(self):
+        m = run_asm("""
+            mov eax, 3
+            cmp eax, 5
+            setl ebx
+            setg ecx
+            setz edx
+            setnz esi
+        """)
+        assert m.state.get_reg(Reg.EBX) == 1
+        assert m.state.get_reg(Reg.ECX) == 0
+        assert m.state.get_reg(Reg.EDX) == 0
+        assert m.state.get_reg(Reg.ESI) == 1
+
+    def test_hlt_is_fixed_point(self):
+        program = assemble(".entry start\nstart:\n hlt\n")
+        machine = program.make_machine()
+        machine.run(max_instructions=10)
+        eip_after = machine.state.eip
+        machine.run(max_instructions=10)
+        assert machine.state.eip == eip_after
+        assert machine.halted
+
+
+class TestMemoryProtection:
+    def test_store_into_code_raises(self):
+        program = assemble("""
+            .entry start
+            start:
+                mov eax, 1
+                store [start], eax
+                hlt
+        """)
+        machine = program.make_machine()
+        with pytest.raises(CodeWriteError):
+            machine.run(max_instructions=10)
+
+    def test_illegal_instruction(self):
+        program = assemble("""
+            .entry start
+            start:
+                mov eax, data
+                jmpr eax
+                hlt
+            .data
+            data: .word 0xEEEEEEEE, 0
+        """)
+        machine = program.make_machine()
+        with pytest.raises(IllegalInstruction):
+            machine.run(max_instructions=10)

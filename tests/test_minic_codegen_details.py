@@ -1,0 +1,188 @@
+"""Code-generation details: regressions that exercised real bugs."""
+
+import pytest
+
+from conftest import run_minic
+from repro.errors import SegmentationFault
+from repro.minic import compile_source
+
+
+def test_negative_frame_offsets_assemble():
+    # [ebp-4] style operands once tripped the assembler's lexer.
+    values = run_minic("""
+        int main() {
+            int a = 1; int b = 2; int c = 3; int d = 4;
+            return a + b * 10 + c * 100 + d * 1000;
+        }
+    """)
+    assert values["__return"] == 4321
+
+
+def test_division_clobbers_are_contained():
+    # idiv writes eax and edx; nested expressions must survive.
+    values = run_minic("""
+        int main() {
+            return (100 / 7) + (100 % 7) * 100;
+        }
+    """)
+    assert values["__return"] == 14 + 2 * 100
+
+
+def test_call_inside_expression_preserves_spills():
+    values = run_minic("""
+        int seven() { return 7; }
+        int main() { return 1000 + seven() * 10 + seven(); }
+    """)
+    assert values["__return"] == 1077
+
+
+def test_nested_calls():
+    values = run_minic("""
+        int add(int a, int b) { return a + b; }
+        int main() { return add(add(1, 2), add(3, add(4, 5))); }
+    """)
+    assert values["__return"] == 15
+
+
+def test_while_with_compound_condition():
+    values = run_minic("""
+        int main() {
+            int i = 0;
+            int j = 100;
+            while (i < 10 && j > 95) { i++; j--; }
+            return i * 1000 + j;
+        }
+    """)
+    assert values["__return"] == 5 * 1000 + 95
+
+
+def test_chained_member_and_index():
+    values = run_minic("""
+        struct inner { int values[4]; };
+        struct outer { int pad; struct inner *child; };
+        struct inner leaf;
+        struct outer root;
+        int main() {
+            root.child = &leaf;
+            root.child->values[2] = 55;
+            return root.child->values[2];
+        }
+    """)
+    assert values["__return"] == 55
+
+
+def test_assignment_value_propagates():
+    values = run_minic("""
+        int main() {
+            int a; int b;
+            a = (b = 6) * 2;
+            return a * 100 + b;
+        }
+    """)
+    assert values["__return"] == 1206
+
+
+def test_null_pointer_dereference_faults():
+    program = compile_source("""
+        int main() {
+            int *p = 0;
+            return *p;
+        }
+    """, name="nullderef")
+    machine = program.make_machine()
+    with pytest.raises(SegmentationFault):
+        machine.run(max_instructions=100)
+
+
+def test_for_with_empty_clauses():
+    values = run_minic("""
+        int main() {
+            int i = 0;
+            for (;;) {
+                i++;
+                if (i >= 5) break;
+            }
+            return i;
+        }
+    """)
+    assert values["__return"] == 5
+
+
+def test_comparison_chains_via_temporaries():
+    values = run_minic("""
+        int main() {
+            int x = 5;
+            return (1 < 2) + (x == 5) * 10 + (x != 5) * 100;
+        }
+    """)
+    assert values["__return"] == 11
+
+
+def test_large_immediate_values():
+    values = run_minic("""
+        int main() {
+            int big = 2000000000;
+            int neg = -2000000000;
+            return (big + neg) + 7;
+        }
+    """)
+    assert values["__return"] == 7
+
+
+def test_modulo_negative_operands_match_c():
+    values = run_minic("""
+        int main() {
+            return (-7 % 3) * 100 + (7 % -3);
+        }
+    """)
+    assert values["__return"] == (-1) * 100 + 1
+
+
+def test_arguments_evaluated_before_call():
+    values = run_minic("""
+        int g;
+        int bump() { g++; return g; }
+        int pair(int a, int b) { return a * 10 + b; }
+        int main() { return pair(bump(), bump()); }
+    """, globals_to_read=["g"])
+    assert values["g"] == 2
+    # cdecl pushes right-to-left: bump() for b runs first.
+    assert values["__return"] == 2 * 10 + 1
+
+
+def test_global_array_of_pointers():
+    values = run_minic("""
+        int x = 5;
+        int y = 9;
+        int *table[2];
+        int main() {
+            table[0] = &x;
+            table[1] = &y;
+            return *table[0] * 10 + *table[1];
+        }
+    """)
+    assert values["__return"] == 59
+
+
+def test_deep_recursion_uses_stack():
+    values = run_minic("""
+        int depth(int n) {
+            if (n == 0) return 0;
+            return 1 + depth(n - 1);
+        }
+        int main() { return depth(200); }
+    """)
+    assert values["__return"] == 200
+
+
+def test_stack_overflow_faults():
+    from repro.errors import MachineError
+    program = compile_source("""
+        int forever(int n) { return forever(n + 1); }
+        int main() { return forever(0); }
+    """, name="overflow", stack_size=512)
+    machine = program.make_machine()
+    # The stack grows down into protected territory: the machine traps
+    # (as a code-write or segmentation fault) instead of corrupting.
+    with pytest.raises(MachineError):
+        machine.run(max_instructions=1_000_000)

@@ -1,0 +1,138 @@
+"""Mini-C lexer, parser, and semantic analysis (error paths)."""
+
+import pytest
+
+from repro.errors import MiniCError
+from repro.minic.lexer import IDENT, KW, NUMBER, OP, tokenize
+from repro.minic.parser import parse
+from repro.minic.sema import analyze
+from repro.minic.types import INT, ArrayType, PtrType, StructType, assignable
+
+
+class TestLexer:
+    def test_kinds_and_values(self):
+        tokens = tokenize("int x = 0x1F + 2; // note")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [KW, IDENT, OP, NUMBER, OP, NUMBER, OP, "eof"]
+        assert tokens[3].value == 31
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a <<= b >> c != d -> e ++")
+        ops = [t.value for t in tokens if t.kind == OP]
+        assert ops == ["<<=", ">>", "!=", "->", "++"]
+
+    def test_block_comment_and_line_numbers(self):
+        tokens = tokenize("a /* multi\nline */ b\nc")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+
+    def test_bad_character(self):
+        with pytest.raises(MiniCError):
+            tokenize("int a = `;")
+
+
+class TestParser:
+    def test_precedence(self):
+        unit = parse("int main() { return 1 + 2 * 3; }")
+        expr = unit.functions[0].body.statements[0].value
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_assignment_right_associative(self):
+        unit = parse("int main() { int a; int b; a = b = 1; return a; }")
+        assign = unit.functions[0].body.statements[2].expr
+        assert assign.op == "="
+        assert assign.value.op == "="
+
+    def test_dangling_else(self):
+        unit = parse("int main() { if (1) if (2) return 1; else return 2; "
+                     "return 0; }")
+        outer = unit.functions[0].body.statements[0]
+        assert outer.else_body is None
+        assert outer.then_body.else_body is not None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MiniCError):
+            parse("int main() { return 1 }")
+
+    def test_struct_parsing(self):
+        unit = parse("struct n { int v; struct n *next; };\n"
+                     "struct n pool[4];\nint main() { return 0; }")
+        assert unit.structs[0].name == "n"
+        assert len(unit.structs[0].members) == 2
+
+
+class TestTypes:
+    def test_sizes(self):
+        assert INT.size == 4
+        assert PtrType(INT).size == 4
+        assert ArrayType(INT, 10).size == 40
+        struct = StructType("s")
+        struct.add_member("a", INT)
+        struct.add_member("b", ArrayType(INT, 3))
+        struct.finish()
+        assert struct.size == 16
+        assert struct.member("b")[0] == 4
+
+    def test_assignability(self):
+        assert assignable(INT, INT)
+        assert assignable(PtrType(INT), INT)  # NULL-style
+        assert assignable(PtrType(INT), PtrType(INT))
+        assert not assignable(PtrType(INT), PtrType(PtrType(INT)))
+        assert assignable(PtrType(INT), ArrayType(INT, 4))  # decay
+
+    def test_array_decay(self):
+        assert ArrayType(INT, 4).decay() == PtrType(INT)
+
+
+class TestSemanticErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("int main() { return x; }", "undeclared"),
+        ("int main() { int x; int x; return 0; }", "redeclaration"),
+        ("int f() { return 0; } int f() { return 1; } "
+         "int main() { return 0; }", "redefinition"),
+        ("int main() { return f(); }", "undefined function"),
+        ("int f(int a) { return a; } int main() { return f(); }",
+         "argument"),
+        ("int main() { break; }", "outside a loop"),
+        ("void f() { return 1; } int main() { return 0; }", "void"),
+        ("int main() { int a[3]; a = 0; return 0; }", "aggregate"),
+        ("int main() { 5 = 3; return 0; }", "lvalue"),
+        ("int main() { int x; return *x; }", "dereference"),
+        ("int main() { int *p; return p % 2; }", "int operands"),
+        ("struct s { int v; }; int main() { struct s x; return 0; }",
+         "pool"),
+        ("int g() { return 1; } int main() { int *p; p = g; return 0; }",
+         "undeclared"),
+        ("int main() { int a[0]; return 0; }", "positive"),
+        ("struct s { int v; }; int main() { struct s *p; return p->w; }",
+         "no member"),
+        ("int main() { int x; return x.field; }", "non-struct"),
+    ])
+    def test_rejects(self, source, fragment):
+        with pytest.raises(MiniCError) as err:
+            analyze(parse(source))
+        assert fragment in str(err.value)
+
+    def test_missing_main(self):
+        with pytest.raises(MiniCError):
+            analyze(parse("int f() { return 0; }"))
+
+    def test_struct_self_reference_via_pointer_ok(self):
+        analyze(parse("struct n { struct n *next; int v; };\n"
+                      "struct n pool[2];\nint main() { return 0; }"))
+
+    def test_struct_direct_self_reference_rejected(self):
+        with pytest.raises(MiniCError):
+            analyze(parse("struct n { struct n inner; };\n"
+                          "int main() { return 0; }"))
+
+    def test_frame_offsets(self):
+        unit = parse("int f(int a, int b) { int x; int y; return a; }\n"
+                     "int main() { return 0; }")
+        info = analyze(unit)
+        fn = unit.functions[0]
+        params = {name: None for __, name in fn.params}
+        assert info.frame_sizes["f"] == 8
+        assert set(params) == {"a", "b"}
