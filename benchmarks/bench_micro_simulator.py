@@ -3,13 +3,17 @@
 The paper measures its TBFS at 2.6 MIPS baseline and 2.3 MIPS with
 dependency tracking (13% overhead). Those are the *modeled* rates every
 experiment charges; this module both asserts the model and measures the
-real Python VM's throughput (reported for transparency — the Python VM
-is orders of magnitude slower, which is exactly why time is simulated).
+real Python VM's throughput through two interpreter tiers — the
+reference transition function and the block-cache fast path
+(:mod:`repro.machine.blockcache`) — publishing the rates and the fast
+path's speedup to ``results/BENCH_micro.json``.
 """
+
+import time
 
 import pytest
 
-from conftest import publish
+from conftest import publish, publish_metrics
 
 from repro.cluster import CostModel
 from repro.machine import DepVector
@@ -26,17 +30,30 @@ int main() {
 }
 """
 
+#: Minimum fast-path speedup over the reference interpreter, per mode.
+MIN_SPEEDUP = 3.0
+
+#: Filled by the rate tests, consumed by test_publish_micro_json (tests
+#: in this module run in definition order under pytest).
+_RECORDED = {}
+
 
 @pytest.fixture(scope="module")
 def hot_program():
     return compile_source(_HOT_LOOP, name="hot")
 
 
-def _run(program, dep):
-    machine = program.make_machine()
+def _run(program, dep, fast_path=None):
+    machine = program.make_machine(fast_path=fast_path)
     vector = DepVector(program.layout.size) if dep else None
     result = machine.run(max_instructions=10_000_000, dep=vector)
     return result.instructions
+
+
+def _reference_mips(program, dep):
+    start = time.perf_counter()
+    instructions = _run(program, dep, fast_path=False)
+    return instructions / (time.perf_counter() - start) / 1e6
 
 
 def test_modeled_rates_match_paper(benchmark):
@@ -51,9 +68,13 @@ def test_baseline_instruction_rate(benchmark, hot_program):
     instructions = benchmark.pedantic(_run, args=(hot_program, False),
                                       rounds=3, iterations=1)
     mips = instructions / benchmark.stats.stats.mean / 1e6
+    ref_mips = _reference_mips(hot_program, False)
+    _RECORDED["mips_baseline"] = mips
+    _RECORDED["mips_baseline_reference"] = ref_mips
     publish("micro_baseline",
             "Python VM baseline: %.3f MIPS over %d instructions "
-            "(modeled: 2.6 MIPS)" % (mips, instructions))
+            "(reference tier: %.3f MIPS, fast path %.1fx; modeled: "
+            "2.6 MIPS)" % (mips, instructions, ref_mips, mips / ref_mips))
     assert instructions > 50_000
 
 
@@ -61,7 +82,25 @@ def test_dependency_tracking_rate(benchmark, hot_program):
     instructions = benchmark.pedantic(_run, args=(hot_program, True),
                                       rounds=3, iterations=1)
     mips = instructions / benchmark.stats.stats.mean / 1e6
+    ref_mips = _reference_mips(hot_program, True)
+    _RECORDED["mips_dep_tracking"] = mips
+    _RECORDED["mips_dep_tracking_reference"] = ref_mips
     publish("micro_deptrack",
             "Python VM with dependency tracking: %.3f MIPS "
-            "(modeled: 2.3 MIPS)" % mips)
+            "(reference tier: %.3f MIPS, fast path %.1fx; modeled: "
+            "2.3 MIPS)" % (mips, ref_mips, mips / ref_mips))
     assert instructions > 50_000
+
+
+def test_publish_micro_json(hot_program):
+    if "mips_baseline" not in _RECORDED:  # rate tests deselected
+        pytest.skip("instruction-rate tests did not run")
+    metrics = dict(_RECORDED)
+    metrics["speedup_baseline"] = (metrics["mips_baseline"]
+                                   / metrics["mips_baseline_reference"])
+    metrics["speedup_dep_tracking"] = (
+        metrics["mips_dep_tracking"]
+        / metrics["mips_dep_tracking_reference"])
+    publish_metrics("micro", metrics)
+    assert metrics["speedup_baseline"] >= MIN_SPEEDUP
+    assert metrics["speedup_dep_tracking"] >= MIN_SPEEDUP

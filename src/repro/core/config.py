@@ -45,7 +45,11 @@ class EngineConfig:
                  # -- memoization mode -----------------------------------
                  memo_block=8,
                  # -- cache ------------------------------------------------
-                 cache_capacity_bytes=None):
+                 cache_capacity_bytes=None,
+                 # -- interpreter tier -------------------------------------
+                 # None follows REPRO_FAST_PATH (on by default); False
+                 # forces the reference interpreter everywhere.
+                 fast_path=None):
         self.warmup_observations = warmup_observations
         self.excitation_threshold = excitation_threshold
         self.grow_targets = grow_targets
@@ -84,6 +88,7 @@ class EngineConfig:
         self.min_dispatch_probability = min_dispatch_probability
         self.memo_block = memo_block
         self.cache_capacity_bytes = cache_capacity_bytes
+        self.fast_path = fast_path
 
     def replace(self, **kwargs):
         """A copy with the given fields overridden."""

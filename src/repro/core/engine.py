@@ -176,7 +176,7 @@ class ParallelEngine:
         stats = RunStats()
         pstats = None
 
-        main = program.make_machine()
+        main = program.make_machine(fast_path=config.fast_path)
         context = main.context  # shared decode cache with speculation
         total = record.total_instructions
         sequential_seconds = cm.exec_seconds(total, dep_tracking=False)
@@ -473,7 +473,7 @@ class MemoizingEngine:
             for entry in self.initial_cache.entries():
                 cache.insert(entry.with_ready_time(0.0))
         stats = RunStats()
-        main = program.make_machine()
+        main = program.make_machine(fast_path=config.fast_path)
         dep = DepVector(program.layout.size)
         open_start = bytes(main.state.buf)
         open_span = 0

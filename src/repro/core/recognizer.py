@@ -129,12 +129,13 @@ class Recognizer:
     # -- phase 1: occurrence statistics --------------------------------------
 
     def _machine_from(self, program, start_state):
+        fast_path = self.config.fast_path
         if start_state is None:
-            return program.make_machine()
+            return program.make_machine(fast_path=fast_path)
         from repro.machine.executor import Machine
         from repro.machine.state import StateVector
         state = StateVector(program.layout, bytearray(start_state))
-        return Machine(state, program.make_context())
+        return Machine(state, program.make_context(fast_path=fast_path))
 
     def _collect_positions(self, program, start_state=None):
         machine = self._machine_from(program, start_state)
@@ -285,9 +286,10 @@ class Recognizer:
     def _dependency_bit_mask(self, program, candidate, states, tracker):
         """Target-bit indices read by one real superstep, or None."""
         budget = self._candidate_budget(candidate)
-        probe = run_speculation(program.make_context(),
-                                states[len(states) // 2], candidate.ip,
-                                candidate.stride, budget)
+        probe = run_speculation(
+            program.make_context(fast_path=self.config.fast_path),
+            states[len(states) // 2], candidate.ip,
+            candidate.stride, budget)
         if probe.entry is None:
             return None
         word_pos = {int(w): i
@@ -461,7 +463,7 @@ class Recognizer:
         if len(states) < 6:
             return 0.0
         budget = self._candidate_budget(candidate)
-        context = program.make_context()
+        context = program.make_context(fast_path=self.config.fast_path)
         # Probe a few states; keep the tightest dependency set (probes
         # that straddle a loop exit drag in unrelated outer state).
         best_indices = None

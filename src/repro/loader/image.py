@@ -124,14 +124,16 @@ class Program:
         state.set_reg(Reg.ESP, self.layout.mem_size)
         return state
 
-    def make_context(self, track_code_reads=False):
+    def make_context(self, track_code_reads=False, fast_path=None):
         return TransitionContext(self.layout, code_range=self.code_range,
-                                 track_code_reads=track_code_reads)
+                                 track_code_reads=track_code_reads,
+                                 fast_path=fast_path)
 
-    def make_machine(self, track_code_reads=False):
+    def make_machine(self, track_code_reads=False, fast_path=None):
         """Fresh machine at the program's initial state."""
         return Machine(self.initial_state(),
-                       self.make_context(track_code_reads=track_code_reads))
+                       self.make_context(track_code_reads=track_code_reads,
+                                         fast_path=fast_path))
 
     # -- persistence -----------------------------------------------------------
 

@@ -17,11 +17,14 @@ from repro.machine.depvec import (
     DEP_WAR,
     DepVector,
 )
+from repro.machine.blockcache import BlockCache, fast_path_env_enabled
 from repro.machine.transition import TransitionContext, transition
 from repro.machine.executor import Machine, RunResult
 from repro.machine.diff import encode_delta, apply_delta, delta_size_bits
 
 __all__ = [
+    "BlockCache",
+    "fast_path_env_enabled",
     "StateLayout",
     "StateVector",
     "DEP_NULL",

@@ -8,7 +8,12 @@ fixed point.
 """
 
 from repro.errors import MachineError
-from repro.machine.layout import EIP_OFF, STATUS_OFF, STATUS_HALTED
+from repro.machine.layout import (
+    EIP_OFF,
+    STATUS_OFF,
+    STATUS_HALTED,
+    read_word,
+)
 from repro.machine.state import StateVector
 from repro.machine.transition import TransitionContext
 
@@ -73,8 +78,14 @@ class Machine:
         executed = 0
 
         if buf[STATUS_OFF] & STATUS_HALTED:
-            self.instruction_count += 0
             return RunResult(0, STOP_HALTED, self.state.eip)
+
+        fast_path = self.context.fast_path
+        if fast_path is not None:
+            executed, reason = fast_path.run(buf, g, max_instructions,
+                                             break_ips)
+            self.instruction_count += executed
+            return RunResult(executed, reason, self.state.eip)
 
         reason = STOP_LIMIT
         while True:
@@ -89,8 +100,7 @@ class Machine:
                 reason = STOP_HALTED
                 break
             if break_ips is not None:
-                eip = (buf[EIP_OFF] | (buf[EIP_OFF + 1] << 8)
-                       | (buf[EIP_OFF + 2] << 16) | (buf[EIP_OFF + 3] << 24))
+                eip = read_word(buf, EIP_OFF)
                 if eip in break_ips:
                     reason = STOP_BREAKPOINT
                     break
@@ -113,14 +123,23 @@ class Machine:
         executed — the sequence of points at which the trajectory crossed
         instruction-boundary hyperplanes.
         """
-        trace = []
         buf = self.state.buf
+        fast_path = self.context.fast_path
+        if fast_path is not None:
+            try:
+                trace, executed = fast_path.ip_trace(buf, max_instructions)
+            except MachineError as exc:
+                self.instruction_count += getattr(exc, "_fp_executed", 0)
+                raise
+            self.instruction_count += executed
+            return trace
+
+        trace = []
         step = self.context.step
         for __ in range(max_instructions):
             if buf[STATUS_OFF] & STATUS_HALTED:
                 break
-            trace.append(buf[EIP_OFF] | (buf[EIP_OFF + 1] << 8)
-                         | (buf[EIP_OFF + 2] << 16) | (buf[EIP_OFF + 3] << 24))
+            trace.append(read_word(buf, EIP_OFF))
             step(buf, None)
             self.instruction_count += 1
         return trace

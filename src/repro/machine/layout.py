@@ -15,6 +15,8 @@ Program memory addresses below :data:`RESERVED_LOW` are unmapped and trap,
 which turns Mini-C null-pointer dereferences into clean faults.
 """
 
+import struct
+
 from repro.errors import MachineError
 
 REG_BYTES = 4
@@ -32,6 +34,18 @@ RESERVED_LOW = 16
 
 #: STATUS register bit set by HLT.
 STATUS_HALTED = 1
+
+_WORD = struct.Struct("<I")
+
+
+def read_word(buf, off):
+    """Read a little-endian 32-bit word at byte offset ``off``."""
+    return _WORD.unpack_from(buf, off)[0]
+
+
+def write_word(buf, off, value):
+    """Write ``value`` (masked to 32 bits) little-endian at ``off``."""
+    _WORD.pack_into(buf, off, value & 0xFFFFFFFF)
 
 
 class StateLayout:

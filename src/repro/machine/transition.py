@@ -22,6 +22,7 @@ from repro.errors import (
 from repro.isa.encoding import INSTRUCTION_SIZE, decode
 from repro.isa.opcodes import Op
 from repro.isa.registers import Reg
+from repro.machine.blockcache import BlockCache, fast_path_env_enabled
 from repro.machine.layout import (
     EFLAGS_OFF,
     EIP_OFF,
@@ -29,6 +30,8 @@ from repro.machine.layout import (
     RESERVED_LOW,
     STATUS_OFF,
     STATUS_HALTED,
+    read_word,
+    write_word,
 )
 
 _M = 0xFFFFFFFF
@@ -124,9 +127,18 @@ class TransitionContext:
         code bytes as read in the dependency vector. The default False
         keeps cache entries sparse; it is sound because the code region is
         write-protected and therefore trivially matches on every lookup.
+    fast_path:
+        Tri-state switch for the basic-block translation cache
+        (:mod:`repro.machine.blockcache`). ``None`` (the default) follows
+        the ``REPRO_FAST_PATH`` environment variable (on unless set to a
+        falsy value); ``False`` forces the reference interpreter;
+        ``True`` requests the fast path. Either way the fast path only
+        activates when a ``code_range`` is given — block translation is
+        sound only over write-protected code.
     """
 
-    def __init__(self, layout, code_range=None, track_code_reads=False):
+    def __init__(self, layout, code_range=None, track_code_reads=False,
+                 fast_path=None):
         self.layout = layout
         if code_range is not None:
             lo, hi = code_range
@@ -138,6 +150,12 @@ class TransitionContext:
         self.track_code_reads = bool(track_code_reads)
         self._decode_cache = {}
         self._handlers = _build_handlers()
+        if fast_path is None:
+            fast_path = fast_path_env_enabled()
+        if fast_path and self.code_lo is not None:
+            self.fast_path = BlockCache(self)
+        else:
+            self.fast_path = None
 
     # -- memory helpers ------------------------------------------------------
 
@@ -240,8 +258,7 @@ class TransitionContext:
             for i in range(EIP_OFF, EIP_OFF + 4):
                 if g[i] == 0:
                     g[i] = 1
-        eip = (buf[EIP_OFF] | (buf[EIP_OFF + 1] << 8)
-               | (buf[EIP_OFF + 2] << 16) | (buf[EIP_OFF + 3] << 24))
+        eip = read_word(buf, EIP_OFF)
 
         op, mode, ra, rb, imm = self._fetch(buf, g, eip)
         handler = self._handlers.get(int(op))
@@ -251,11 +268,7 @@ class TransitionContext:
         next_eip = handler(self, buf, g, mode, ra, rb, imm, eip)
 
         # Write EIP back (every instruction writes it).
-        v = next_eip & _M
-        buf[EIP_OFF] = v & 0xFF
-        buf[EIP_OFF + 1] = (v >> 8) & 0xFF
-        buf[EIP_OFF + 2] = (v >> 16) & 0xFF
-        buf[EIP_OFF + 3] = (v >> 24) & 0xFF
+        write_word(buf, EIP_OFF, next_eip)
         if g is not None:
             for i in range(EIP_OFF, EIP_OFF + 4):
                 s = g[i]
