@@ -65,12 +65,42 @@ def cmd_disasm(args):
     return 0
 
 
+def _run_real_backend(program, args):
+    """Execute on the multiprocess runtime; returns the final machine."""
+    from repro.runtime import RealParallelEngine, RuntimeConfig
+
+    runtime_config = RuntimeConfig(
+        n_workers=args.workers,
+        superstep_scale=args.superstep_scale,
+        max_instructions=args.max_instructions)
+    engine = RealParallelEngine(program, config=_engine_config(args),
+                                runtime_config=runtime_config)
+    result = engine.run()
+    stats, runtime = result.stats, result.runtime
+    print("%s after %d instructions in %.3fs wall "
+          "(%d executed + %d fast-forwarded)"
+          % ("halted" if result.halted else "limit",
+             result.total_instructions, result.wall_seconds,
+             stats.instructions_executed,
+             stats.instructions_fast_forwarded))
+    print("real backend: %d workers, %d dispatched, %d shipped, %d used, "
+          "%d crashed, %d timed-out, %d/%d bytes out/in"
+          % (result.n_workers, runtime.tasks_dispatched,
+             runtime.entries_shipped, runtime.entries_used,
+             runtime.tasks_crashed, runtime.tasks_timed_out,
+             runtime.bytes_sent, runtime.bytes_received))
+    return engine.machine
+
+
 def cmd_run(args):
     program = load_program(args.file)
-    machine = program.make_machine()
-    result = machine.run(max_instructions=args.max_instructions)
-    print("%s after %d instructions (eip=0x%x)"
-          % (result.reason, result.instructions, result.eip))
+    if args.backend == "real":
+        machine = _run_real_backend(program, args)
+    else:
+        machine = program.make_machine()
+        result = machine.run(max_instructions=args.max_instructions)
+        print("%s after %d instructions (eip=0x%x)"
+              % (result.reason, result.instructions, result.eip))
     for reg_name in args.reg or ():
         reg = NAME_TO_REG.get(reg_name.lower())
         if reg is None:
@@ -89,12 +119,49 @@ def cmd_run(args):
     return 0 if machine.halted else 1
 
 
+def _scale_real_backend(program, args):
+    """Measured wall-clock scaling on the multiprocess runtime."""
+    import time
+
+    from repro.core.recognizer import Recognizer
+    from repro.runtime import RealParallelEngine, RuntimeConfig
+
+    config = _engine_config(args)
+    recognized = Recognizer(config).find(program)
+    print("recognized IP 0x%x (superstep ~%.0f instructions, stride %d)"
+          % (recognized.ip, recognized.superstep_instructions,
+             recognized.stride))
+    t0 = time.perf_counter()
+    machine = program.make_machine()
+    machine.run(max_instructions=500_000_000)
+    seq_wall = time.perf_counter() - t0
+    expected = bytes(machine.state.buf)
+    print("sequential: %.3fs wall" % seq_wall)
+    for n_workers in (int(w) for w in args.workers.split(",")):
+        runtime_config = RuntimeConfig(
+            n_workers=n_workers, superstep_scale=args.superstep_scale)
+        result = RealParallelEngine(
+            program, config=config, runtime_config=runtime_config,
+            recognized=recognized).run()
+        identical = result.final_state == expected
+        print("%3d workers: %.3fs wall, %.2fx, %d hits, %d shipped, "
+              "identical=%s"
+              % (n_workers, result.wall_seconds,
+                 result.speedup_vs(seq_wall), result.stats.hits,
+                 result.runtime.entries_shipped, identical))
+        if not identical:
+            return 1
+    return 0
+
+
 def cmd_scale(args):
     from repro.analysis import ExperimentContext, scaling_sweep
     from repro.analysis.report import format_series
     from repro.analysis.scaling import ideal_series
 
     program = load_program(args.file)
+    if args.backend == "real":
+        return _scale_real_backend(program, args)
     workload = Workload(program.name, program, config=_engine_config(args))
     context = ExperimentContext(workload)
     recognized = context.recognized
@@ -155,6 +222,13 @@ def build_parser():
                    help="print a register after the run (repeatable)")
     p.add_argument("--global", dest="globals", action="append",
                    help="print a global variable after the run")
+    p.add_argument("--backend", choices=["sim", "real"], default="sim",
+                   help="'real' speculates on a pool of worker processes")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes for --backend real")
+    p.add_argument("--superstep-scale", type=int, default=1,
+                   dest="superstep_scale",
+                   help="multiply the recognized superstep (real backend)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("scale", help="ASC scaling sweep")
@@ -167,6 +241,14 @@ def build_parser():
     p.add_argument("--min-superstep", type=int, dest="min_superstep")
     p.add_argument("--hints", action="store_true",
                    help="restrict recognition to compiler hints")
+    p.add_argument("--backend", choices=["sim", "real"], default="sim",
+                   help="'sim' charges a cost model; 'real' measures "
+                        "wall-clock on worker processes")
+    p.add_argument("--workers", default="1,2,4",
+                   help="worker counts to sweep for --backend real")
+    p.add_argument("--superstep-scale", type=int, default=1,
+                   dest="superstep_scale",
+                   help="multiply the recognized superstep (real backend)")
     p.set_defaults(func=cmd_scale)
 
     p = sub.add_parser("memoize",

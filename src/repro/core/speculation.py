@@ -16,12 +16,13 @@ Two properties make this sound even under misprediction:
 """
 
 from repro.errors import MachineError
-from repro.machine.blockcache import STOP_BREAKPOINT, STOP_HALTED
 from repro.machine.depvec import DepVector
 from repro.machine.layout import (
     EIP_OFF,
     STATUS_OFF,
     STATUS_HALTED,
+    STOP_BREAKPOINT,
+    STOP_HALTED,
     read_word,
 )
 from repro.core.trajectory_cache import CacheEntry

@@ -67,6 +67,9 @@ from repro.machine.layout import (
     RESERVED_LOW,
     STATUS_OFF,
     STATUS_HALTED,
+    STOP_BREAKPOINT,
+    STOP_HALTED,
+    STOP_LIMIT,
 )
 
 _M = 0xFFFFFFFF
@@ -77,11 +80,6 @@ _p32 = _U32.pack_into
 #: Upper bound on instructions per translated block (straight-line runs
 #: are usually ended far earlier by a control-flow op).
 MAX_BLOCK_INSTRUCTIONS = 128
-
-#: Stop reasons; string-identical to the ones in repro.machine.executor.
-STOP_HALTED = "halted"
-STOP_LIMIT = "limit"
-STOP_BREAKPOINT = "breakpoint"
 
 _ENV_VAR = "REPRO_FAST_PATH"
 

@@ -12,15 +12,13 @@ from repro.machine.layout import (
     EIP_OFF,
     STATUS_OFF,
     STATUS_HALTED,
+    STOP_BREAKPOINT,
+    STOP_HALTED,
+    STOP_LIMIT,
     read_word,
 )
 from repro.machine.state import StateVector
 from repro.machine.transition import TransitionContext
-
-#: Stop reasons reported by :meth:`Machine.run`.
-STOP_HALTED = "halted"
-STOP_LIMIT = "limit"
-STOP_BREAKPOINT = "breakpoint"
 
 
 class RunResult:

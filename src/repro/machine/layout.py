@@ -35,6 +35,14 @@ RESERVED_LOW = 16
 #: STATUS register bit set by HLT.
 STATUS_HALTED = 1
 
+#: Stop reasons reported by every run loop (:meth:`Machine.run`, the
+#: block-cache fast path, speculative workers). Defined here — the
+#: lowest layer both interpreters already import — and re-exported by
+#: ``machine.executor`` and ``machine.blockcache`` for compatibility.
+STOP_HALTED = "halted"
+STOP_LIMIT = "limit"
+STOP_BREAKPOINT = "breakpoint"
+
 _WORD = struct.Struct("<I")
 
 

@@ -1,0 +1,50 @@
+"""Real multiprocess speculation runtime.
+
+The simulated-time :class:`~repro.core.engine.ParallelEngine` executes
+every speculation serially in one Python process and *charges* parallel
+time through the platform cost model. This package is the other
+backend: a pool of persistent OS processes that really execute
+speculations on spare cores and ship trajectory-cache entries back to
+the main thread over pipes — the shape of the paper's LASC prototype
+(spare cores + MPI) on one machine.
+
+Layers:
+
+* :mod:`repro.runtime.wire` — compact versioned binary wire format for
+  tasks and results (numpy-backed, no pickling of live objects);
+* :mod:`repro.runtime.worker` — the worker process main loop (loads the
+  program image once, keeps its block cache warm across tasks);
+* :mod:`repro.runtime.pool` — :class:`WorkerPool`: dispatch,
+  backpressure, per-task timeouts, crash detection and respawn;
+* :mod:`repro.runtime.engine` — :class:`RealParallelEngine`: the
+  Figure 1 loop against real workers and real wall-clock time.
+"""
+
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.engine import RealParallelEngine, RealParallelResult
+from repro.runtime.pool import (
+    PoolError,
+    TASK_CRASHED,
+    TASK_FAILED,
+    TASK_OK,
+    TASK_TIMED_OUT,
+    TaskOutcome,
+    WorkerPool,
+)
+from repro.runtime.stats import RuntimeStats
+from repro.runtime.wire import WireError
+
+__all__ = [
+    "PoolError",
+    "RealParallelEngine",
+    "RealParallelResult",
+    "RuntimeConfig",
+    "RuntimeStats",
+    "TASK_CRASHED",
+    "TASK_FAILED",
+    "TASK_OK",
+    "TASK_TIMED_OUT",
+    "TaskOutcome",
+    "WireError",
+    "WorkerPool",
+]

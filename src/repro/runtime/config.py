@@ -1,0 +1,79 @@
+"""Configuration for the multiprocess runtime backend."""
+
+import multiprocessing
+import os
+
+
+def default_start_method():
+    """``fork`` where the platform offers it (cheap, inherits the warm
+    import state), else ``spawn``. Override with ``REPRO_MP_START``."""
+    env = os.environ.get("REPRO_MP_START")
+    if env:
+        return env
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+class RuntimeConfig:
+    """Tunables for :class:`~repro.runtime.pool.WorkerPool` and
+    :class:`~repro.runtime.engine.RealParallelEngine`.
+
+    Kept separate from :class:`~repro.core.config.EngineConfig`: these
+    knobs describe the *execution substrate* (processes, pipes,
+    deadlines), not the learning machinery, and the simulated backend
+    never reads them.
+    """
+
+    def __init__(self,
+                 n_workers=2,
+                 # In-flight tasks per worker. 1 is strict one-at-a-time;
+                 # 2 lets the engine queue the next assignment while a
+                 # worker is busy (the pipe buffers it), so workers go
+                 # back-to-back without a dispatch round-trip.
+                 queue_depth=2,
+                 # Hard per-task deadline. A worker whose oldest task is
+                 # older than this is killed and respawned — the defense
+                 # against a hung pipe or a runaway speculation.
+                 task_timeout_seconds=30.0,
+                 # Boundary scheduling: when the current state matches an
+                 # in-flight speculation, the engine may *wait* for that
+                 # worker instead of re-executing the superstep itself.
+                 # It waits only when the task's estimated remaining time
+                 # is under ``inflight_wait_bias`` x the cost of just
+                 # executing; a huge bias means "always wait" (used by
+                 # the differential tests to make hits deterministic).
+                 inflight_wait_bias=1.0,
+                 max_inflight_wait_seconds=10.0,
+                 # Superstep coarsening: the real engine multiplies the
+                 # recognized stride by this factor. Real boundaries cost
+                 # real milliseconds (observe + predict + dispatch), so
+                 # wall-clock runs want paper-scale supersteps even where
+                 # the recognizer validated at simulation-scale ones;
+                 # granularity is a runtime policy, not a recognition
+                 # result. Predictors adapt to the scaled increments
+                 # within a few boundaries.
+                 superstep_scale=1,
+                 # Pool lifecycle.
+                 start_method=None,
+                 respawn_limit=32,
+                 max_instructions=500_000_000):
+        self.n_workers = n_workers
+        self.queue_depth = queue_depth
+        self.task_timeout_seconds = task_timeout_seconds
+        self.inflight_wait_bias = inflight_wait_bias
+        self.max_inflight_wait_seconds = max_inflight_wait_seconds
+        self.superstep_scale = superstep_scale
+        self.start_method = start_method
+        self.respawn_limit = respawn_limit
+        self.max_instructions = max_instructions
+
+    def replace(self, **kwargs):
+        """A copy with the given fields overridden."""
+        fields = dict(self.__dict__)
+        fields.update(kwargs)
+        return RuntimeConfig(**fields)
+
+    def __repr__(self):
+        inner = ", ".join("%s=%r" % kv for kv in sorted(self.__dict__.items()))
+        return "RuntimeConfig(%s)" % inner

@@ -1,0 +1,363 @@
+"""The real-time parallel engine: ASC's Figure 1 loop on actual cores.
+
+Where :class:`~repro.core.engine.ParallelEngine` *simulates* an N-core
+platform (executing speculations serially and charging their latency to
+a cost model), this engine runs the main thread in-process and ships
+allocator-ranked speculation tasks to a :class:`WorkerPool` of real OS
+processes. Completed cache entries stream back over pipes into an
+in-process trajectory cache, and the main thread fast-forwards exactly
+as the simulated engine does. All timing is wall-clock.
+
+Correctness does not depend on any of the machinery working: every
+cache entry a worker ships is an exact fact about the deterministic
+transition function ("a state agreeing on these read bytes evolves to
+these written bytes in N instructions"), so applying a matching entry
+is identical to executing the instructions. Crashed, timed-out, and
+mispredicted speculations simply produce nothing. The differential
+tests assert the strong form: the final machine state is byte-identical
+to a plain sequential run.
+
+Scheduling at a superstep boundary:
+
+1. drain completed results into the cache (non-blocking);
+2. observe the state, advance the learners/allocator, dispatch
+   uncovered rollout targets to idle worker slots (backpressure: at
+   most ``queue_depth`` tasks in flight per worker);
+3. probe the cache and fast-forward over every matching entry;
+4. on a miss where the *current* state is itself an in-flight
+   speculation, optionally wait for that worker instead of re-executing
+   the superstep — but only when its estimated remaining time is
+   cheaper than executing (an EWMA of task and superstep durations
+   decides; on a saturated single core the engine correctly prefers to
+   execute, on spare cores it converts pipeline stalls into hits).
+"""
+
+import time
+
+from repro.core.allocator import Allocator, RelevanceMask
+from repro.core.config import EngineConfig
+from repro.core.excitation import ExcitationTracker
+from repro.core.predictors.ensemble import default_ensemble
+from repro.core.recognizer import Recognizer
+from repro.core.stats import RunStats
+from repro.core.trajectory_cache import TrajectoryCache
+from repro.errors import EngineError
+from repro.machine.layout import STOP_BREAKPOINT
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.pool import TASK_FAILED, TASK_OK, WorkerPool
+from repro.runtime.stats import RuntimeStats
+
+
+class RealParallelResult:
+    """Everything measured by one real-runtime run."""
+
+    def __init__(self, program_name, n_workers, recognized, wall_seconds,
+                 total_instructions, stats, runtime, cache, final_state,
+                 halted, machine):
+        self.program_name = program_name
+        self.n_workers = n_workers
+        self.recognized = recognized
+        self.wall_seconds = wall_seconds
+        self.total_instructions = total_instructions
+        self.stats = stats  # core RunStats (supersteps, hits, ff, ...)
+        self.runtime = runtime  # RuntimeStats (tasks, bytes, crashes, ...)
+        self.cache = cache
+        self.final_state = final_state  # bytes; differential ground truth
+        self.halted = halted
+        self.machine = machine
+
+    def speedup_vs(self, sequential_wall_seconds):
+        """Wall-clock scaling against a measured sequential run."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return sequential_wall_seconds / self.wall_seconds
+
+    def __repr__(self):
+        return ("RealParallelResult(%s, workers=%d, wall=%.3fs, hits=%d, "
+                "ff=%d, shipped=%d)"
+                % (self.program_name, self.n_workers, self.wall_seconds,
+                   self.stats.hits, self.stats.instructions_fast_forwarded,
+                   self.runtime.entries_shipped))
+
+
+class _DurationEwma:
+    """Exponentially weighted wall-time estimate."""
+
+    __slots__ = ("value", "alpha")
+
+    def __init__(self, alpha=0.3):
+        self.value = None
+        self.alpha = alpha
+
+    def update(self, sample):
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value += self.alpha * (sample - self.value)
+
+
+class RealParallelEngine:
+    """One ASC run of a program on real spare cores.
+
+    ``pool`` may be shared across runs of the same program (workers are
+    program-specific); when omitted, a pool is created for the run and
+    shut down afterwards — including on error and KeyboardInterrupt.
+    ``boundary_hook``, if given, is called as ``hook(engine, superstep)``
+    at every boundary; the crash-injection tests use it to kill workers
+    mid-run.
+    """
+
+    def __init__(self, program, config=None, runtime_config=None,
+                 recognized=None, pool=None, initial_cache=None,
+                 boundary_hook=None):
+        self.program = program
+        self.config = config or EngineConfig()
+        self.runtime_config = runtime_config or RuntimeConfig()
+        self.recognized = recognized
+        self.pool = pool
+        self.initial_cache = initial_cache
+        self.boundary_hook = boundary_hook
+        # Exposed for tests/CLI after run():
+        self.machine = None
+
+    # -- helpers -------------------------------------------------------------
+
+    def _prepare(self):
+        if self.recognized is None:
+            try:
+                self.recognized = Recognizer(self.config).find(self.program)
+            except EngineError:
+                # Too short or too irregular to recognize: the backend
+                # still owes the caller a correct run (plain execution).
+                self.recognized = None
+
+    def run(self):
+        """Execute to halt; returns a :class:`RealParallelResult`."""
+        self._prepare()
+        rtc = self.runtime_config
+        own_pool = self.pool is None
+        pool = self.pool
+        if own_pool:
+            pool = WorkerPool(self.program, rtc)
+        try:
+            return self._run(pool)
+        finally:
+            if own_pool:
+                pool.shutdown()
+
+    # -- the run -------------------------------------------------------------
+
+    def _run(self, pool):
+        program = self.program
+        config = self.config
+        rtc = self.runtime_config
+        recognized = self.recognized
+        runtime = pool.stats
+        stats = RunStats()
+
+        cache = TrajectoryCache(capacity_bytes=config.cache_capacity_bytes)
+        if self.initial_cache is not None:
+            for entry in self.initial_cache.entries():
+                cache.insert(entry.with_ready_time(0.0))
+
+        main = program.make_machine(fast_path=config.fast_path)
+        self.machine = main
+        guard = rtc.max_instructions
+
+        t0 = time.perf_counter()
+
+        if recognized is None:
+            # No recognizable structure (tiny or phaseless program):
+            # degrade to a plain run — still a valid backend result.
+            result = main.run(max_instructions=guard)
+            wall = time.perf_counter() - t0
+            stats.instructions_executed += result.instructions
+            return self._result(main, None, wall, stats, runtime, cache)
+
+        rip = recognized.ip
+        scale = max(1, int(rtc.superstep_scale))
+        stride = recognized.stride * scale
+        break_ips = frozenset((rip,))
+        spec_budget = recognized.speculation_budget(
+            config.speculation_budget_factor) * scale
+        mean_jump = recognized.mean_gap * stride
+        max_rollout = config.max_rollout or max(
+            1, pool.n_workers * rtc.queue_depth)
+
+        tracker = ExcitationTracker(program.layout, config)
+        mask = RelevanceMask(tracker)
+        ensemble = default_ensemble(config)
+        allocator = Allocator(ensemble, tracker, max_rollout, mask=mask)
+        if recognized.training_states:
+            # Warm start from the states the recognizer already observed
+            # (its wall time was genuinely spent before this run began).
+            for trained in recognized.training_states:
+                view = tracker.observe(trained)
+                if view is not None:
+                    ensemble.observe(view)
+            ensemble.flush_pending()
+            tracker.reset_continuity()
+
+        covered = set()  # relevance keys already speculated successfully
+        inflight = {}  # relevance key -> SpeculationTask
+        used_entries = set()  # id() of entries that fast-forwarded main
+        entry_ids = set()  # id() of every shipped entry
+        task_ewma = _DurationEwma()
+        superstep_ewma = _DurationEwma()
+
+        def drain(timeout=0.0):
+            for outcome in pool.poll(timeout):
+                key = outcome.task.meta
+                inflight.pop(key, None)
+                if outcome.status == TASK_OK:
+                    task_ewma.update(outcome.duration)
+                    covered.add(key)
+                    entry = outcome.entry
+                    cache.insert(entry)
+                    entry_ids.add(id(entry))
+                    mask.update_from_entry(entry)
+                    stats.speculation_instructions += outcome.instructions
+                elif outcome.status == TASK_FAILED:
+                    # Garbage prediction: executed, produced nothing.
+                    # Cover it anyway — re-speculating the same predicted
+                    # state would fail identically (determinism).
+                    covered.add(key)
+                    stats.speculation_faults += 1
+                    stats.speculation_instructions += outcome.instructions
+                # crashed / timed-out: leave uncovered so the target is
+                # re-dispatched (respeculation) if still predicted.
+
+        def dispatch(snapshot, view):
+            order = allocator.dispatch_order(mean_jump,
+                                             config.min_dispatch_probability)
+            chain = allocator.chain
+            for idx in order:
+                if pool.idle_slots() <= 0:
+                    break
+                step = chain[idx]
+                key = mask.key_for(step)
+                if key in covered or key in inflight:
+                    continue
+                start_buf = tracker.materialize(snapshot, step.word_values)
+                if cache.lookup(rip, start_buf) is not None:
+                    # A (preloaded or earlier) entry already covers this
+                    # target; speculating it again would be pure waste.
+                    covered.add(key)
+                    continue
+                task = pool.submit(rip, stride, spec_budget, start_buf,
+                                   meta=key)
+                if task is None:
+                    break
+                inflight[key] = task
+                stats.speculations_dispatched += 1
+                stats.speculations_executed += 1
+
+        while not main.halted:
+            # -- one superstep of real execution -------------------------
+            t_step = time.perf_counter()
+            executed = 0
+            drought = False
+            for __ in range(stride):
+                result = main.run(max_instructions=recognized.drought_limit(),
+                                  break_ips=break_ips)
+                executed += result.instructions
+                if result.reason != STOP_BREAKPOINT:
+                    drought = not main.halted
+                    break
+            stats.instructions_executed += executed
+            if executed:
+                superstep_ewma.update(time.perf_counter() - t_step)
+            if main.halted:
+                break
+            if drought:
+                # The recognized RIP died (phase change / tail): run
+                # plainly to halt. Workers may still be finishing; their
+                # entries are simply never used.
+                tail = main.run(max_instructions=guard)
+                stats.instructions_executed += tail.instructions
+                break
+            progress = (stats.instructions_executed
+                        + stats.instructions_fast_forwarded)
+            if progress > guard:
+                raise EngineError("real engine exceeded instruction guard")
+
+            # -- boundary processing; fast-forwards chain here ------------
+            while True:
+                stats.supersteps += 1
+                if self.boundary_hook is not None:
+                    self.boundary_hook(self, stats.supersteps)
+                drain(0.0)
+                buf = main.state.buf
+                snapshot = bytes(buf)
+                view = tracker.observe(snapshot)
+                if view is not None:
+                    ensemble.observe(view)
+                    allocator.advance(view)
+                    dispatch(snapshot, view)
+                stats.queries += 1
+                entry = cache.lookup(rip, buf)
+                if entry is None and view is not None:
+                    entry = self._await_inflight(
+                        pool, drain, inflight, mask, view, task_ewma,
+                        superstep_ewma, runtime, cache, rip, buf)
+                if entry is None:
+                    stats.misses += 1
+                    break
+                stats.hits += 1
+                entry.apply(buf)
+                if id(entry) in entry_ids:
+                    used_entries.add(id(entry))
+                stats.instructions_fast_forwarded += entry.length
+                progress = (stats.instructions_executed
+                            + stats.instructions_fast_forwarded)
+                if progress > guard:
+                    raise EngineError("fast-forward exceeded instruction "
+                                      "guard; cyclic cache entry?")
+                if main.halted:
+                    break
+
+        wall = time.perf_counter() - t0
+        drain(0.0)  # final sweep so the counters reflect stragglers
+        runtime.entries_used = len(used_entries)
+        runtime.tasks_wasted = runtime.entries_shipped - len(used_entries)
+        return self._result(main, recognized, wall, stats, runtime, cache)
+
+    def _await_inflight(self, pool, drain, inflight, mask, view, task_ewma,
+                        superstep_ewma, runtime, cache, rip, buf):
+        """Maybe wait for a worker already speculating the current state.
+
+        Executing the superstep ourselves costs ~``superstep_ewma`` and
+        discards the worker's (near-finished) effort; waiting costs its
+        estimated remaining time. Wait only when that is the cheaper
+        side of the ledger, scaled by ``inflight_wait_bias``.
+        """
+        rtc = self.runtime_config
+        key = mask.key(view.word_values)
+        task = inflight.get(key)
+        if task is None:
+            return None
+        now = time.monotonic()
+        exec_cost = superstep_ewma.value
+        expected = task_ewma.value
+        if exec_cost is not None and expected is not None:
+            remaining = max(0.0, task.dispatch_time + expected - now)
+            if remaining > exec_cost * rtc.inflight_wait_bias:
+                return None
+        elif rtc.inflight_wait_bias <= 1.0:
+            return None  # no estimates yet: don't gamble
+        deadline = now + min(rtc.max_inflight_wait_seconds,
+                             rtc.task_timeout_seconds or float("inf"))
+        runtime.inflight_waits += 1
+        t_wait = time.perf_counter()
+        while key in inflight and time.monotonic() < deadline:
+            drain(min(0.05, deadline - time.monotonic()))
+        runtime.inflight_wait_seconds += time.perf_counter() - t_wait
+        return cache.lookup(rip, buf)
+
+    def _result(self, main, recognized, wall, stats, runtime, cache):
+        return RealParallelResult(
+            self.program.name, self.runtime_config.n_workers
+            if self.pool is None else self.pool.n_workers,
+            recognized, wall,
+            stats.instructions_executed + stats.instructions_fast_forwarded,
+            stats, runtime, cache, bytes(main.state.buf), main.halted, main)

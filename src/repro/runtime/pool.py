@@ -1,0 +1,330 @@
+"""A pool of persistent speculation workers on real cores.
+
+The pool owns N OS processes (:func:`~repro.runtime.worker.worker_main`)
+connected by duplex pipes. The engine talks to it through three calls:
+:meth:`WorkerPool.submit` (assign a speculation to an idle slot, with
+backpressure when every worker is at its queue depth), :meth:`poll`
+(collect finished results, enforce per-task deadlines, detect and
+replace dead workers), and :meth:`shutdown`.
+
+Failure policy — speculation is *disposable* work, so every failure
+mode degrades to "that task produced nothing":
+
+* a worker that crashes (killed, segfaults the interpreter, OOM) is
+  detected by pipe EOF / liveness, its in-flight tasks are reported as
+  :data:`TASK_CRASHED`, and a fresh worker is spawned in its place;
+* a worker whose oldest task outlives the deadline is killed outright
+  (a stuck pipe or runaway loop must not stall the engine) and its
+  tasks are reported as :data:`TASK_TIMED_OUT`;
+* a worker that reports a fault or exhausted budget yields
+  :data:`TASK_FAILED` — the predicted state was garbage, which the
+  paper's design explicitly tolerates.
+
+The engine decides whether to re-speculate; the pool only guarantees
+that every submitted task eventually produces exactly one outcome.
+"""
+
+import itertools
+import multiprocessing
+import time
+from collections import deque
+from multiprocessing.connection import wait as _conn_wait
+
+from repro.errors import ReproError
+from repro.runtime import wire
+from repro.runtime.config import RuntimeConfig, default_start_method
+from repro.runtime.stats import RuntimeStats
+from repro.runtime.worker import worker_main
+
+#: Task outcome statuses (pool-level view; the wire-level OK/FAULT/
+#: BUDGET/EMPTY collapse into OK vs FAILED here).
+TASK_OK = "ok"
+TASK_FAILED = "failed"
+TASK_TIMED_OUT = "timed-out"
+TASK_CRASHED = "crashed"
+
+
+class PoolError(ReproError):
+    """The worker pool was misused or gave up (respawn storm)."""
+
+
+class SpeculationTask:
+    """One dispatched speculation, as the engine sees it."""
+
+    __slots__ = ("task_id", "rip", "occurrences", "max_instructions",
+                 "meta", "dispatch_time", "payload_bytes", "worker")
+
+    def __init__(self, task_id, rip, occurrences, max_instructions, meta,
+                 dispatch_time, payload_bytes, worker):
+        self.task_id = task_id
+        self.rip = rip
+        self.occurrences = occurrences
+        self.max_instructions = max_instructions
+        self.meta = meta  # opaque engine tag (e.g. the coverage key)
+        self.dispatch_time = dispatch_time
+        self.payload_bytes = payload_bytes
+        self.worker = worker  # worker index it ran on
+
+    def __repr__(self):
+        return "SpeculationTask(id=%d, rip=0x%x, worker=%d)" % (
+            self.task_id, self.rip, self.worker)
+
+
+class TaskOutcome:
+    """One finished task: the submitted task plus what came back."""
+
+    __slots__ = ("task", "status", "entry", "instructions", "halted",
+                 "fault", "duration")
+
+    def __init__(self, task, status, entry=None, instructions=0,
+                 halted=False, fault=None, duration=0.0):
+        self.task = task
+        self.status = status
+        self.entry = entry
+        self.instructions = instructions
+        self.halted = halted
+        self.fault = fault
+        self.duration = duration  # dispatch -> completion wall seconds
+
+    @property
+    def ok(self):
+        return self.status == TASK_OK and self.entry is not None
+
+    def __repr__(self):
+        return "TaskOutcome(id=%d, status=%s, entry=%s)" % (
+            self.task.task_id, self.status, self.entry is not None)
+
+
+class _Worker:
+    __slots__ = ("index", "proc", "conn", "inflight")
+
+    def __init__(self, index, proc, conn):
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.inflight = deque()  # SpeculationTasks, FIFO per worker
+
+
+class WorkerPool:
+    """Persistent multiprocess speculation workers for one program."""
+
+    def __init__(self, program, config=None, stats=None):
+        self.config = config or RuntimeConfig()
+        if self.config.n_workers < 1:
+            raise PoolError("n_workers must be >= 1")
+        self.stats = stats or RuntimeStats()
+        self._program_payload = program.to_dict()
+        self._fast_path = None  # workers follow REPRO_FAST_PATH by default
+        self._ctx = multiprocessing.get_context(
+            self.config.start_method or default_start_method())
+        self._task_ids = itertools.count(1)
+        self._respawns = 0
+        self._closed = False
+        self._workers = [self._spawn(i) for i in range(self.config.n_workers)]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self, index):
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self._program_payload, self._fast_path),
+            name="repro-spec-%d" % index, daemon=True)
+        proc.start()
+        child_conn.close()
+        return _Worker(index, proc, parent_conn)
+
+    def _respawn(self, worker):
+        """Replace a dead/killed worker in place."""
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join(timeout=5.0)
+        self._respawns += 1
+        self.stats.workers_respawned += 1
+        if self._respawns > self.config.respawn_limit:
+            raise PoolError("worker respawn limit (%d) exceeded; the "
+                            "program or platform is killing workers faster "
+                            "than speculation can use them"
+                            % self.config.respawn_limit)
+        fresh = self._spawn(worker.index)
+        self._workers[worker.index] = fresh
+        return fresh
+
+    def shutdown(self):
+        """Stop every worker; polite first, then by force. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send_bytes(wire.encode_shutdown())
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in self._workers:
+            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def n_workers(self):
+        return len(self._workers)
+
+    def idle_slots(self):
+        """How many more tasks :meth:`submit` would accept right now."""
+        depth = self.config.queue_depth
+        return sum(max(0, depth - len(w.inflight)) for w in self._workers)
+
+    def inflight_count(self):
+        return sum(len(w.inflight) for w in self._workers)
+
+    def worker_pids(self):
+        """Live worker PIDs (fault-injection tests kill these)."""
+        return [w.proc.pid for w in self._workers]
+
+    # -- dispatch ------------------------------------------------------------
+
+    def submit(self, rip, occurrences, max_instructions, start_state,
+               meta=None):
+        """Assign a speculation to the least-loaded worker.
+
+        Returns the :class:`SpeculationTask`, or ``None`` when every
+        worker is at its queue depth (backpressure — the caller simply
+        tries again at the next superstep boundary).
+        """
+        if self._closed:
+            raise PoolError("submit on a shut-down pool")
+        worker = min(self._workers, key=lambda w: len(w.inflight))
+        if len(worker.inflight) >= self.config.queue_depth:
+            self.stats.dispatch_backpressure += 1
+            return None
+        task_id = next(self._task_ids)
+        payload = wire.encode_task(task_id, rip, occurrences,
+                                   max_instructions, start_state)
+        task = SpeculationTask(task_id, rip, occurrences, max_instructions,
+                               meta, time.monotonic(), len(payload),
+                               worker.index)
+        try:
+            worker.conn.send_bytes(payload)
+        except (OSError, ValueError, BrokenPipeError):
+            # Found dead at dispatch time: replace it and report the
+            # crash through the normal outcome path on the next poll by
+            # queueing the task against the fresh worker.
+            worker = self._respawn(worker)
+            task.worker = worker.index
+            task.dispatch_time = time.monotonic()
+            worker.conn.send_bytes(payload)
+        worker.inflight.append(task)
+        self.stats.tasks_dispatched += 1
+        self.stats.bytes_sent += len(payload)
+        return task
+
+    # -- collection ----------------------------------------------------------
+
+    def poll(self, timeout=0.0):
+        """Collect every outcome available within ``timeout`` seconds.
+
+        Always returns promptly once at least one outcome (result,
+        crash, or deadline kill) has been produced; an empty list means
+        the timeout elapsed with all workers still busy or idle.
+        """
+        outcomes = []
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            outcomes.extend(self._reap_expired())
+            busy = {w.conn: w for w in self._workers if w.inflight}
+            if not busy:
+                break
+            remaining = deadline - time.monotonic()
+            if outcomes:
+                remaining = 0.0  # drain whatever is ready, don't linger
+            if remaining < 0:
+                remaining = 0.0
+            # Bound each wait so deadline kills stay responsive even
+            # when a worker hangs without closing its pipe.
+            ready = _conn_wait(list(busy), timeout=min(remaining, 0.05))
+            for conn in ready:
+                worker = busy[conn]
+                try:
+                    data = conn.recv_bytes()
+                except (EOFError, OSError):
+                    outcomes.extend(self._declare_dead(worker, TASK_CRASHED))
+                    continue
+                outcomes.append(self._ingest(worker, data))
+            if not ready and time.monotonic() >= deadline:
+                break
+            if outcomes and not ready:
+                break
+        return outcomes
+
+    def _ingest(self, worker, data):
+        msg_type, pos = wire.decode_message(data)
+        if msg_type != wire.MSG_RESULT:
+            raise PoolError("worker %d sent unexpected message type %d"
+                            % (worker.index, msg_type))
+        msg = wire.decode_result(data, pos)
+        if not worker.inflight or worker.inflight[0].task_id != msg.task_id:
+            raise PoolError("worker %d answered task %d out of order"
+                            % (worker.index, msg.task_id))
+        task = worker.inflight.popleft()
+        duration = time.monotonic() - task.dispatch_time
+        self.stats.tasks_completed += 1
+        self.stats.bytes_received += len(data)
+        self.stats.worker_instructions += msg.instructions
+        if msg.status == wire.RESULT_OK and msg.entry is not None:
+            self.stats.entries_shipped += 1
+            status = TASK_OK
+        else:
+            self.stats.tasks_failed += 1
+            status = TASK_FAILED
+        return TaskOutcome(task, status, entry=msg.entry,
+                           instructions=msg.instructions, halted=msg.halted,
+                           fault=msg.fault, duration=duration)
+
+    def _declare_dead(self, worker, status):
+        """Turn a dead worker's queue into outcomes and respawn it."""
+        outcomes = []
+        now = time.monotonic()
+        counter = ("tasks_crashed" if status == TASK_CRASHED
+                   else "tasks_timed_out")
+        for task in worker.inflight:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+            outcomes.append(TaskOutcome(task, status,
+                                        duration=now - task.dispatch_time))
+        worker.inflight.clear()
+        self._respawn(worker)
+        return outcomes
+
+    def _reap_expired(self):
+        """Kill workers whose oldest task blew the deadline."""
+        timeout = self.config.task_timeout_seconds
+        if timeout is None:
+            return []
+        now = time.monotonic()
+        outcomes = []
+        for worker in list(self._workers):
+            if worker.inflight and \
+                    now - worker.inflight[0].dispatch_time > timeout:
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+                outcomes.extend(self._declare_dead(worker, TASK_TIMED_OUT))
+            elif not worker.proc.is_alive():
+                outcomes.extend(self._declare_dead(worker, TASK_CRASHED))
+        return outcomes

@@ -1,0 +1,40 @@
+"""Counters for the multiprocess runtime.
+
+The transport-level counters (bytes, crashes, respawns, timeouts) are
+incremented by the :class:`~repro.runtime.pool.WorkerPool`; the
+scheduling-level counters (dispatched, wasted, waits) by the
+:class:`~repro.runtime.engine.RealParallelEngine`. One object holds
+both so a result can report the whole picture, mirroring how
+:class:`~repro.core.stats.RunStats` serves the simulated engine.
+"""
+
+
+class RuntimeStats:
+    """Counters accumulated by a real-runtime run."""
+
+    def __init__(self):
+        self.tasks_dispatched = 0
+        self.tasks_completed = 0  # results received, any status
+        self.entries_shipped = 0  # results that carried a cache entry
+        self.entries_used = 0  # shipped entries that fast-forwarded main
+        self.tasks_wasted = 0  # shipped entries never used (set at exit)
+        self.tasks_failed = 0  # fault / budget / empty results
+        self.tasks_timed_out = 0
+        self.tasks_crashed = 0
+        self.workers_respawned = 0
+        self.bytes_sent = 0  # engine -> workers (tasks)
+        self.bytes_received = 0  # workers -> engine (results)
+        self.worker_instructions = 0  # really executed on workers
+        self.inflight_waits = 0  # boundaries spent waiting on a worker
+        self.inflight_wait_seconds = 0.0
+        self.dispatch_backpressure = 0  # dispatches skipped: no idle slot
+
+    def as_dict(self):
+        return dict(self.__dict__)
+
+    def __repr__(self):
+        return ("RuntimeStats(dispatched=%d, completed=%d, shipped=%d, "
+                "used=%d, timed_out=%d, crashed=%d)"
+                % (self.tasks_dispatched, self.tasks_completed,
+                   self.entries_shipped, self.entries_used,
+                   self.tasks_timed_out, self.tasks_crashed))

@@ -1,0 +1,207 @@
+"""Wire format for the multiprocess speculation runtime.
+
+Every message between the engine and a worker is one framed byte string
+(the framing itself — a length prefix — is provided by
+``multiprocessing.Connection.send_bytes``). A message is::
+
+    [ 4B magic "ASCP" | u16 version | u8 type | payload ]
+
+Three message types exist: a :data:`MSG_TASK` carrying a speculation
+assignment (predicted full start state, recognized IP, occurrence
+budget, instruction budget), a :data:`MSG_RESULT` carrying the outcome
+(instruction count, halt flag, optional fault string, optional
+serialized :class:`~repro.core.trajectory_cache.CacheEntry`), and a
+:data:`MSG_SHUTDOWN`.
+
+Design rules: fixed-width little-endian structs plus raw numpy array
+bytes — nothing on the wire is ever unpickled, so a compromised or
+corrupted worker can at worst produce a cache entry that never matches
+(entries are verified facts only if the worker ran honestly; within one
+machine that is our trust boundary, the same one ``multiprocessing``
+itself assumes). A version bump in either endpoint makes the other
+reject the stream loudly instead of misinterpreting it.
+"""
+
+import struct
+
+import numpy as np
+
+from repro.core.trajectory_cache import CacheEntry
+from repro.errors import ReproError
+
+WIRE_MAGIC = b"ASCP"
+WIRE_VERSION = 1
+
+MSG_TASK = 1
+MSG_RESULT = 2
+MSG_SHUTDOWN = 3
+
+#: Result status codes (worker-side view of one speculation).
+RESULT_OK = 0  # a usable cache entry is attached
+RESULT_FAULT = 1  # the predicted state faulted (no entry)
+RESULT_BUDGET = 2  # wandering budget exhausted mid-superstep (no entry)
+RESULT_EMPTY = 3  # zero instructions executed (e.g. already halted)
+
+_HEADER = struct.Struct("<4sHB")
+_TASK = struct.Struct("<QIIQI")  # task_id, rip, occurrences, budget, state_len
+_RESULT = struct.Struct("<QBQBBH")  # task_id, status, instructions,
+#                                     halted, has_entry, fault_len
+_ENTRY = struct.Struct("<IQIBII")  # rip, length, occurrences, halted,
+#                                    n_start, n_end
+
+
+class WireError(ReproError):
+    """A runtime message could not be decoded."""
+
+
+class TaskMessage:
+    """Decoded :data:`MSG_TASK` payload."""
+
+    __slots__ = ("task_id", "rip", "occurrences", "max_instructions",
+                 "start_state")
+
+    def __init__(self, task_id, rip, occurrences, max_instructions,
+                 start_state):
+        self.task_id = task_id
+        self.rip = rip
+        self.occurrences = occurrences
+        self.max_instructions = max_instructions
+        self.start_state = start_state  # bytes, one full state vector
+
+
+class ResultMessage:
+    """Decoded :data:`MSG_RESULT` payload."""
+
+    __slots__ = ("task_id", "status", "instructions", "halted", "fault",
+                 "entry")
+
+    def __init__(self, task_id, status, instructions, halted, fault, entry):
+        self.task_id = task_id
+        self.status = status
+        self.instructions = instructions
+        self.halted = halted
+        self.fault = fault
+        self.entry = entry  # CacheEntry or None
+
+
+# -- entries -----------------------------------------------------------------
+
+def encode_entry(entry):
+    """Serialize one cache entry (struct header + raw arrays)."""
+    out = bytearray()
+    out += _ENTRY.pack(entry.rip, entry.length, entry.occurrences,
+                       1 if entry.halted else 0,
+                       len(entry.start_indices), len(entry.end_indices))
+    out += np.asarray(entry.start_indices, dtype="<i8").tobytes()
+    out += np.asarray(entry.start_values, dtype=np.uint8).tobytes()
+    out += np.asarray(entry.end_indices, dtype="<i8").tobytes()
+    out += np.asarray(entry.end_values, dtype=np.uint8).tobytes()
+    return bytes(out)
+
+
+def decode_entry(data, pos=0):
+    """Inverse of :func:`encode_entry`; returns ``(entry, next_pos)``."""
+    if pos + _ENTRY.size > len(data):
+        raise WireError("truncated entry header")
+    rip, length, occurrences, halted, n_start, n_end = \
+        _ENTRY.unpack_from(data, pos)
+    pos += _ENTRY.size
+    if pos + 9 * n_start + 9 * n_end > len(data):
+        raise WireError("truncated entry arrays")
+    start_indices = np.frombuffer(data, dtype="<i8", count=n_start,
+                                  offset=pos).astype(np.int64)
+    pos += 8 * n_start
+    start_values = np.frombuffer(data, dtype=np.uint8, count=n_start,
+                                 offset=pos).copy()
+    pos += n_start
+    end_indices = np.frombuffer(data, dtype="<i8", count=n_end,
+                                offset=pos).astype(np.int64)
+    pos += 8 * n_end
+    end_values = np.frombuffer(data, dtype=np.uint8, count=n_end,
+                               offset=pos).copy()
+    pos += n_end
+    entry = CacheEntry(rip, start_indices, start_values, end_indices,
+                       end_values, length, occurrences=occurrences,
+                       ready_time=0.0, halted=bool(halted))
+    return entry, pos
+
+
+# -- messages ----------------------------------------------------------------
+
+def _frame(msg_type, payload):
+    return _HEADER.pack(WIRE_MAGIC, WIRE_VERSION, msg_type) + payload
+
+
+def decode_message(data):
+    """Validate the header; return ``(msg_type, payload_offset)``."""
+    if len(data) < _HEADER.size:
+        raise WireError("message too short for header")
+    magic, version, msg_type = _HEADER.unpack_from(data, 0)
+    if magic != WIRE_MAGIC:
+        raise WireError("bad magic %r (not a runtime message)" % (magic,))
+    if version != WIRE_VERSION:
+        raise WireError("wire version %d, this endpoint speaks %d"
+                        % (version, WIRE_VERSION))
+    if msg_type not in (MSG_TASK, MSG_RESULT, MSG_SHUTDOWN):
+        raise WireError("unknown message type %d" % msg_type)
+    return msg_type, _HEADER.size
+
+
+def encode_task(task_id, rip, occurrences, max_instructions, start_state):
+    payload = _TASK.pack(task_id, rip, occurrences, max_instructions,
+                         len(start_state)) + bytes(start_state)
+    return _frame(MSG_TASK, payload)
+
+
+def decode_task(data, pos):
+    if pos + _TASK.size > len(data):
+        raise WireError("truncated task header")
+    task_id, rip, occurrences, budget, state_len = \
+        _TASK.unpack_from(data, pos)
+    pos += _TASK.size
+    if pos + state_len != len(data):
+        raise WireError("task state length mismatch")
+    return TaskMessage(task_id, rip, occurrences, budget,
+                       bytes(data[pos:pos + state_len]))
+
+
+def encode_result(task_id, result):
+    """Encode a :class:`~repro.core.speculation.SpeculationResult`."""
+    if result.fault is not None:
+        status = RESULT_FAULT
+    elif result.entry is not None:
+        status = RESULT_OK
+    elif result.instructions == 0:
+        status = RESULT_EMPTY
+    else:
+        status = RESULT_BUDGET
+    fault = (result.fault or "").encode("utf-8")[:65535]
+    entry_blob = b"" if result.entry is None else encode_entry(result.entry)
+    payload = _RESULT.pack(task_id, status, result.instructions,
+                           1 if result.halted else 0,
+                           1 if result.entry is not None else 0,
+                           len(fault))
+    return _frame(MSG_RESULT, payload + fault + entry_blob)
+
+
+def decode_result(data, pos):
+    if pos + _RESULT.size > len(data):
+        raise WireError("truncated result header")
+    task_id, status, instructions, halted, has_entry, fault_len = \
+        _RESULT.unpack_from(data, pos)
+    pos += _RESULT.size
+    if pos + fault_len > len(data):
+        raise WireError("truncated fault string")
+    fault = data[pos:pos + fault_len].decode("utf-8") if fault_len else None
+    pos += fault_len
+    entry = None
+    if has_entry:
+        entry, pos = decode_entry(data, pos)
+    if pos != len(data):
+        raise WireError("trailing bytes in result message")
+    return ResultMessage(task_id, status, instructions, bool(halted),
+                         fault, entry)
+
+
+def encode_shutdown():
+    return _frame(MSG_SHUTDOWN, b"")

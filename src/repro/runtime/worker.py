@@ -1,0 +1,54 @@
+"""Worker process main loop.
+
+Each pool worker is one long-lived OS process. At startup it rebuilds
+the program image from its JSON form and creates a single
+:class:`~repro.machine.transition.TransitionContext` — so the decoded
+instruction cache and the block-translation cache warm up once and stay
+hot across every task the worker ever runs (the paper's workers likewise
+hold the loaded binary for the life of the computation).
+
+The loop is strictly request/response over one duplex pipe: receive a
+task frame, run the speculation, send a result frame. A malformed frame
+or a closed pipe ends the process; SIGINT is ignored so that a Ctrl-C
+delivered to the foreground process group interrupts only the engine,
+which then shuts the pool down deliberately.
+"""
+
+import signal
+
+from repro.core.speculation import run_speculation
+from repro.loader.image import Program
+from repro.runtime import wire
+
+
+def worker_main(conn, program_payload, fast_path):
+    """Entry point for a pool worker (``multiprocessing.Process`` target).
+
+    ``conn`` is the worker end of a duplex pipe; ``program_payload`` the
+    :meth:`Program.to_dict` form of the image; ``fast_path`` the
+    interpreter-tier override (None follows ``REPRO_FAST_PATH``).
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread (tests) or odd platform
+        pass
+    program = Program.from_dict(program_payload)
+    context = program.make_context(fast_path=fast_path)
+    try:
+        while True:
+            try:
+                data = conn.recv_bytes()
+            except (EOFError, OSError):
+                break  # engine went away; nothing to clean up
+            msg_type, pos = wire.decode_message(data)
+            if msg_type == wire.MSG_SHUTDOWN:
+                break
+            if msg_type != wire.MSG_TASK:
+                raise wire.WireError("worker got unexpected message type %d"
+                                     % msg_type)
+            task = wire.decode_task(data, pos)
+            result = run_speculation(context, task.start_state, task.rip,
+                                     task.occurrences, task.max_instructions)
+            conn.send_bytes(wire.encode_result(task.task_id, result))
+    finally:
+        conn.close()

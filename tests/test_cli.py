@@ -93,6 +93,57 @@ def test_scale_command(tmp_path, capsys):
     assert "16" in text
 
 
+def test_run_real_backend(tmp_path, capsys):
+    path = tmp_path / "loop.c"
+    path.write_text("""
+        int total;
+        int main() {
+            int i;
+            for (i = 1; i <= 900; i++) total += i;
+            return total;
+        }
+    """)
+    assert main(["run", str(path), "--backend", "real", "--workers", "2",
+                 "--global", "total"]) == 0
+    text = capsys.readouterr().out
+    assert "halted" in text
+    assert "real backend: 2 workers" in text
+    assert "total = 405450" in text
+
+
+def test_run_backend_defaults_to_sim(c_file, capsys):
+    assert main(["run", c_file, "--global", "total"]) == 0
+    text = capsys.readouterr().out
+    assert "real backend" not in text  # no worker pool was involved
+    assert "total = 820" in text
+
+
+def test_scale_real_backend(tmp_path, capsys):
+    path = tmp_path / "loop.c"
+    path.write_text("""
+        int out[400];
+        int step(int v) {
+            int j;
+            for (j = 0; j < 12; j++) v = v * 5 + j;
+            return v;
+        }
+        int main() {
+            int i;
+            for (i = 0; i < 400; i++) out[i] = step(i);
+            return out[399];
+        }
+    """)
+    assert main(["scale", str(path), "--backend", "real", "--workers", "1,2",
+                 "--window", "30000", "--min-superstep", "80"]) == 0
+    text = capsys.readouterr().out
+    assert "recognized IP" in text
+    assert "sequential:" in text
+    assert "1 workers:" in text
+    assert "2 workers:" in text
+    assert "identical=True" in text
+    assert "identical=False" not in text
+
+
 def test_memoize_command(tmp_path, capsys):
     path = tmp_path / "collatz.c"
     path.write_text("""

@@ -1,0 +1,136 @@
+"""RealParallelEngine: byte-identical results from real-core speculation."""
+
+import os
+import signal
+
+import pytest
+
+from repro.asm import assemble
+from repro.bench import build_collatz, build_ising
+from repro.core.recognizer import Recognizer
+from repro.runtime import RealParallelEngine, RuntimeConfig
+
+
+def sequential_state(program, limit=50_000_000):
+    machine = program.make_machine()
+    machine.run(max_instructions=limit)
+    assert machine.halted
+    return bytes(machine.state.buf)
+
+
+#: Always wait for an in-flight speculation of the current state — on a
+#: loaded CI core this converts every on-trajectory prediction into a
+#: deterministic hit instead of a timing-dependent one.
+DETERMINISTIC = RuntimeConfig(n_workers=2, inflight_wait_bias=1e9)
+
+
+@pytest.fixture(scope="module", params=["collatz", "ising"])
+def workload(request):
+    if request.param == "collatz":
+        return build_collatz(count=300)
+    return build_ising(nodes=48, spins=6)
+
+
+@pytest.fixture(scope="module")
+def recognized(workload):
+    found = Recognizer(workload.config).find(workload.program)
+    assert found is not None
+    return found
+
+
+class TestDifferential:
+    def test_byte_identical_with_real_worker_fast_forwards(
+            self, workload, recognized):
+        expected = sequential_state(workload.program)
+        engine = RealParallelEngine(
+            workload.program, config=workload.config,
+            runtime_config=DETERMINISTIC, recognized=recognized)
+        result = engine.run()
+        assert result.halted
+        assert result.final_state == expected
+        # The run must have been driven by the machinery, not luck:
+        # entries were produced by real worker processes, shipped over
+        # the wire, and at least one fast-forwarded the main thread.
+        assert result.runtime.entries_shipped > 0
+        assert result.runtime.entries_used > 0
+        assert result.stats.hits > 0
+        assert result.stats.instructions_fast_forwarded > 0
+        # Progress identity: executed + fast-forwarded == the work done.
+        assert result.total_instructions == (
+            result.stats.instructions_executed
+            + result.stats.instructions_fast_forwarded)
+        assert result.runtime.tasks_wasted == (
+            result.runtime.entries_shipped - result.runtime.entries_used)
+
+    def test_superstep_scale_preserves_result(self, workload, recognized):
+        expected = sequential_state(workload.program)
+        engine = RealParallelEngine(
+            workload.program, config=workload.config,
+            runtime_config=DETERMINISTIC.replace(superstep_scale=8),
+            recognized=recognized)
+        result = engine.run()
+        assert result.halted
+        assert result.final_state == expected
+
+
+class TestCrashMidRun:
+    def test_worker_killed_mid_run_still_byte_identical(self):
+        workload = build_collatz(count=300)
+        expected = sequential_state(workload.program)
+        killed = []
+        from repro.runtime.pool import WorkerPool
+        with WorkerPool(workload.program, DETERMINISTIC) as pool:
+            def hook(engine, superstep):
+                # Kill a live worker at the third boundary, once.
+                if superstep == 3 and not killed:
+                    pid = pool.worker_pids()[0]
+                    os.kill(pid, signal.SIGKILL)
+                    killed.append(pid)
+
+            engine = RealParallelEngine(
+                workload.program, config=workload.config,
+                runtime_config=DETERMINISTIC, pool=pool,
+                boundary_hook=hook)
+            result = engine.run()
+        assert killed, "hook never fired"
+        assert result.halted
+        assert result.final_state == expected
+        assert result.runtime.workers_respawned >= 1
+        assert result.runtime.tasks_crashed >= 1
+
+
+class TestDegradedPaths:
+    def test_unrecognizable_program_runs_plainly(self):
+        program = assemble("""
+            .entry start
+            start:
+                mov eax, 7
+                store [out], eax
+                hlt
+            .data
+            out: .word 0
+        """, name="tiny")
+        engine = RealParallelEngine(program,
+                                    runtime_config=RuntimeConfig(n_workers=1))
+        result = engine.run()
+        assert result.halted
+        assert result.recognized is None
+        assert result.final_state == sequential_state(program)
+        assert result.stats.hits == 0
+
+    def test_warm_cache_reuse_across_runs(self):
+        workload = build_collatz(count=300)
+        expected = sequential_state(workload.program)
+        recognized = Recognizer(workload.config).find(workload.program)
+        first = RealParallelEngine(
+            workload.program, config=workload.config,
+            runtime_config=DETERMINISTIC, recognized=recognized).run()
+        assert first.runtime.entries_shipped > 0
+        second = RealParallelEngine(
+            workload.program, config=workload.config,
+            runtime_config=DETERMINISTIC, recognized=recognized,
+            initial_cache=first.cache).run()
+        assert second.final_state == expected
+        # Preloaded entries serve hits without re-dispatching that work.
+        assert second.stats.hits > 0
+        assert second.runtime.tasks_dispatched < first.runtime.tasks_dispatched

@@ -1,0 +1,189 @@
+"""Wire format: round-trips are bit-exact, corruption is rejected."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.speculation import SpeculationResult
+from repro.core.trajectory_cache import CacheEntry
+from repro.runtime import wire
+
+
+def sparse_side(draw, max_len=64, vector_len=4096):
+    """One (indices, values) side of an entry: sorted unique indices."""
+    n = draw(st.integers(min_value=0, max_value=max_len))
+    indices = draw(st.lists(st.integers(min_value=0,
+                                        max_value=vector_len - 1),
+                            min_size=n, max_size=n, unique=True))
+    indices = np.asarray(sorted(indices), dtype=np.int64)
+    values = draw(st.lists(st.integers(min_value=0, max_value=255),
+                           min_size=n, max_size=n))
+    return indices, np.asarray(values, dtype=np.uint8)
+
+
+@st.composite
+def entries(draw):
+    start_indices, start_values = sparse_side(draw)
+    end_indices, end_values = sparse_side(draw)
+    return CacheEntry(
+        rip=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        start_indices=start_indices, start_values=start_values,
+        end_indices=end_indices, end_values=end_values,
+        length=draw(st.integers(min_value=0, max_value=2**48)),
+        occurrences=draw(st.integers(min_value=1, max_value=2**31 - 1)),
+        halted=draw(st.booleans()))
+
+
+def assert_entries_equal(a, b):
+    assert a.rip == b.rip
+    assert a.length == b.length
+    assert a.occurrences == b.occurrences
+    assert a.halted == b.halted
+    np.testing.assert_array_equal(np.asarray(a.start_indices),
+                                  np.asarray(b.start_indices))
+    np.testing.assert_array_equal(np.asarray(a.start_values),
+                                  np.asarray(b.start_values))
+    np.testing.assert_array_equal(np.asarray(a.end_indices),
+                                  np.asarray(b.end_indices))
+    np.testing.assert_array_equal(np.asarray(a.end_values),
+                                  np.asarray(b.end_values))
+
+
+class TestEntryRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(entries())
+    def test_bit_exact(self, entry):
+        blob = wire.encode_entry(entry)
+        decoded, pos = wire.decode_entry(blob)
+        assert pos == len(blob)
+        assert_entries_equal(entry, decoded)
+
+    @settings(max_examples=25, deadline=None)
+    @given(entries())
+    def test_decoded_entry_applies_like_original(self, entry):
+        buf = bytearray(4096)
+        expected = bytearray(4096)
+        decoded, __ = wire.decode_entry(wire.encode_entry(entry))
+        entry.apply(expected)
+        decoded.apply(buf)
+        assert bytes(buf) == bytes(expected)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_entry(b"\x00\x01")
+
+    @settings(max_examples=20, deadline=None)
+    @given(entries(), st.data())
+    def test_truncated_arrays_rejected(self, entry, data):
+        blob = wire.encode_entry(entry)
+        if len(blob) <= 24:  # header-only entry cannot be array-truncated
+            return
+        cut = data.draw(st.integers(min_value=24, max_value=len(blob) - 1))
+        with pytest.raises(wire.WireError):
+            wire.decode_entry(blob[:cut])
+
+
+class TestTaskRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(task_id=st.integers(min_value=0, max_value=2**63),
+           rip=st.integers(min_value=0, max_value=2**32 - 1),
+           occurrences=st.integers(min_value=0, max_value=2**32 - 1),
+           budget=st.integers(min_value=0, max_value=2**63),
+           state=st.binary(min_size=0, max_size=2048))
+    def test_bit_exact(self, task_id, rip, occurrences, budget, state):
+        blob = wire.encode_task(task_id, rip, occurrences, budget, state)
+        msg_type, pos = wire.decode_message(blob)
+        assert msg_type == wire.MSG_TASK
+        task = wire.decode_task(blob, pos)
+        assert task.task_id == task_id
+        assert task.rip == rip
+        assert task.occurrences == occurrences
+        assert task.max_instructions == budget
+        assert task.start_state == state
+
+    def test_length_mismatch_rejected(self):
+        blob = wire.encode_task(1, 2, 3, 4, b"\xaa" * 64)
+        __, pos = wire.decode_message(blob)
+        with pytest.raises(wire.WireError):
+            wire.decode_task(blob[:-1], pos)
+        with pytest.raises(wire.WireError):
+            wire.decode_task(blob + b"\x00", pos)
+
+
+def make_result(entry=None, instructions=0, halted=False, fault=None):
+    return SpeculationResult(entry, instructions, halted, fault=fault)
+
+
+class TestResultRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(entry=entries(),
+           task_id=st.integers(min_value=0, max_value=2**63),
+           instructions=st.integers(min_value=0, max_value=2**48),
+           halted=st.booleans())
+    def test_ok_result(self, entry, task_id, instructions, halted):
+        blob = wire.encode_result(
+            task_id, make_result(entry, instructions, halted))
+        msg_type, pos = wire.decode_message(blob)
+        assert msg_type == wire.MSG_RESULT
+        msg = wire.decode_result(blob, pos)
+        assert msg.task_id == task_id
+        assert msg.status == wire.RESULT_OK
+        assert msg.instructions == instructions
+        assert msg.halted == halted
+        assert msg.fault is None
+        assert_entries_equal(entry, msg.entry)
+
+    @settings(max_examples=25, deadline=None)
+    @given(fault=st.text(min_size=1, max_size=200))
+    def test_fault_result(self, fault):
+        blob = wire.encode_result(7, make_result(fault=fault,
+                                                 instructions=12))
+        __, pos = wire.decode_message(blob)
+        msg = wire.decode_result(blob, pos)
+        assert msg.status == wire.RESULT_FAULT
+        assert msg.entry is None
+        assert msg.fault == fault
+
+    def test_empty_and_budget_statuses(self):
+        __, pos = wire.decode_message(wire.encode_result(1, make_result()))
+        msg = wire.decode_result(wire.encode_result(1, make_result()), pos)
+        assert msg.status == wire.RESULT_EMPTY
+        blob = wire.encode_result(1, make_result(instructions=99))
+        msg = wire.decode_result(blob, pos)
+        assert msg.status == wire.RESULT_BUDGET
+
+    def test_trailing_bytes_rejected(self):
+        blob = wire.encode_result(1, make_result(instructions=5))
+        __, pos = wire.decode_message(blob)
+        with pytest.raises(wire.WireError):
+            wire.decode_result(blob + b"\x00", pos)
+
+
+class TestHeaderValidation:
+    def test_shutdown_round_trip(self):
+        msg_type, pos = wire.decode_message(wire.encode_shutdown())
+        assert msg_type == wire.MSG_SHUTDOWN
+        assert pos == len(wire.encode_shutdown())
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(wire.encode_shutdown())
+        blob[:4] = b"NOPE"
+        with pytest.raises(wire.WireError, match="magic"):
+            wire.decode_message(bytes(blob))
+
+    def test_version_mismatch_rejected(self):
+        import struct
+        bad = struct.pack("<4sHB", wire.WIRE_MAGIC, wire.WIRE_VERSION + 1,
+                          wire.MSG_TASK)
+        with pytest.raises(wire.WireError, match="version"):
+            wire.decode_message(bad)
+
+    def test_unknown_type_rejected(self):
+        import struct
+        bad = struct.pack("<4sHB", wire.WIRE_MAGIC, wire.WIRE_VERSION, 99)
+        with pytest.raises(wire.WireError, match="type"):
+            wire.decode_message(bad)
+
+    def test_short_message_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_message(b"ASC")
