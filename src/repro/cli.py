@@ -4,15 +4,18 @@ Usage (also available as ``python -m repro``)::
 
     repro compile kernel.c -o kernel.json --disasm
     repro run kernel.c --global result --reg eax
+    repro run kernel.c --backend real --checkpoint-dir ck/ --resume
     repro disasm kernel.c
     repro scale kernel.c --cores 4,16,32 --platform server32
     repro memoize kernel.c
+    repro chaos collatz --seed 42 --kills 2 --timeouts 2 --corrupts 1
 
 Input files ending in ``.c`` are compiled as Mini-C, ``.s``/``.asm`` are
 assembled, and ``.json`` loads a previously saved program image.
 """
 
 import argparse
+import json
 import sys
 
 from repro.asm import assemble, disassemble_program
@@ -46,6 +49,32 @@ def _engine_config(args):
     return EngineConfig(**overrides)
 
 
+def _checkpoint_setup(args, program, subdir=None):
+    """Build (checkpointer, resume_from) from --checkpoint-* flags."""
+    directory = getattr(args, "checkpoint_dir", None)
+    resume = getattr(args, "resume", False)
+    if directory is None:
+        if resume:
+            print("--resume requires --checkpoint-dir", file=sys.stderr)
+            raise SystemExit(2)
+        return None, None
+    import os
+
+    from repro.core.checkpoint import Checkpointer, load_latest
+    if subdir is not None:
+        directory = os.path.join(directory, subdir)
+    checkpointer = Checkpointer(
+        directory, every_instructions=args.checkpoint_every,
+        program=program.name)
+    resume_from = None
+    if resume:
+        resume_from = load_latest(directory)
+        if resume_from is None:
+            print("no valid checkpoint in %s; starting fresh" % directory,
+                  file=sys.stderr)
+    return checkpointer, resume_from
+
+
 def cmd_compile(args):
     program = load_program(args.file, name=args.name)
     print(repr(program))
@@ -65,57 +94,153 @@ def cmd_disasm(args):
     return 0
 
 
+def _supervision_line(runtime):
+    return ("supervision: %d respawned, %d breaker trips, %d quarantined, "
+            "%d readmitted, %d retired, %d degraded boundaries, "
+            "%d faults injected"
+            % (runtime.workers_respawned, runtime.breaker_trips,
+               runtime.workers_quarantined, runtime.workers_readmitted,
+               runtime.workers_retired, runtime.degraded_boundaries,
+               runtime.faults_injected))
+
+
 def _run_real_backend(program, args):
-    """Execute on the multiprocess runtime; returns the final machine."""
+    """Execute on the multiprocess runtime; returns (machine, payload)."""
     from repro.runtime import RealParallelEngine, RuntimeConfig
 
     runtime_config = RuntimeConfig(
         n_workers=args.workers,
         superstep_scale=args.superstep_scale,
-        max_instructions=args.max_instructions)
+        max_instructions=args.max_instructions,
+        fault_plan=getattr(args, "fault_plan", None))
+    checkpointer, resume_from = _checkpoint_setup(args, program)
     engine = RealParallelEngine(program, config=_engine_config(args),
-                                runtime_config=runtime_config)
+                                runtime_config=runtime_config,
+                                checkpointer=checkpointer,
+                                resume_from=resume_from)
     result = engine.run()
     stats, runtime = result.stats, result.runtime
-    print("%s after %d instructions in %.3fs wall "
-          "(%d executed + %d fast-forwarded)"
-          % ("halted" if result.halted else "limit",
-             result.total_instructions, result.wall_seconds,
-             stats.instructions_executed,
-             stats.instructions_fast_forwarded))
-    print("real backend: %d workers, %d dispatched, %d shipped, %d used, "
-          "%d crashed, %d timed-out, %d/%d bytes out/in"
-          % (result.n_workers, runtime.tasks_dispatched,
-             runtime.entries_shipped, runtime.entries_used,
-             runtime.tasks_crashed, runtime.tasks_timed_out,
-             runtime.bytes_sent, runtime.bytes_received))
-    return engine.machine
+    payload = {
+        "program": program.name,
+        "backend": "real",
+        "halted": result.halted,
+        "wall_seconds": result.wall_seconds,
+        "total_instructions": result.total_instructions,
+        "resumed_instructions": engine.resumed_instructions,
+        "n_workers": result.n_workers,
+        "stats": stats.as_dict(),
+        "runtime": runtime.as_dict(),
+    }
+    if not args.json:
+        print("%s after %d instructions in %.3fs wall "
+              "(%d executed + %d fast-forwarded)"
+              % ("halted" if result.halted else "limit",
+                 result.total_instructions, result.wall_seconds,
+                 stats.instructions_executed,
+                 stats.instructions_fast_forwarded))
+        print("real backend: %d workers, %d dispatched, %d shipped, "
+              "%d used, %d crashed, %d timed-out, %d/%d bytes out/in"
+              % (result.n_workers, runtime.tasks_dispatched,
+                 runtime.entries_shipped, runtime.entries_used,
+                 runtime.tasks_crashed, runtime.tasks_timed_out,
+                 runtime.bytes_sent, runtime.bytes_received))
+        print(_supervision_line(runtime))
+        if engine.resumed_instructions:
+            print("resumed from checkpoint at %d instructions"
+                  % engine.resumed_instructions)
+        if checkpointer is not None:
+            print("checkpoints: %d written to %s"
+                  % (checkpointer.saves, checkpointer.directory))
+    return engine.machine, payload
+
+
+def _run_sim_backend(program, args):
+    """Plain single-machine execution, with optional checkpoint/resume."""
+    from repro.errors import EngineError
+
+    machine = program.make_machine()
+    checkpointer, resume_from = _checkpoint_setup(args, program)
+    base = 0
+    if resume_from is not None:
+        if len(resume_from.state) != len(machine.state.buf):
+            raise EngineError(
+                "checkpoint state is %d bytes but this program's state "
+                "vector is %d — wrong program?"
+                % (len(resume_from.state), len(machine.state.buf)))
+        machine.state.buf[:] = resume_from.state
+        machine.instruction_count = resume_from.instruction_count
+        base = resume_from.instruction_count
+        checkpointer.note_resumed(base)
+    chunk = args.max_instructions
+    if checkpointer is not None \
+            and checkpointer.every_instructions is not None:
+        chunk = max(1, checkpointer.every_instructions)
+    executed = 0
+    reason = "halt" if machine.halted else "limit"
+    eip = machine.state.eip if hasattr(machine.state, "eip") else 0
+    while not machine.halted and executed < args.max_instructions:
+        result = machine.run(
+            max_instructions=min(chunk, args.max_instructions - executed))
+        executed += result.instructions
+        reason, eip = result.reason, result.eip
+        if checkpointer is not None and not machine.halted:
+            checkpointer.maybe_save(base + executed,
+                                    bytes(machine.state.buf))
+        if result.instructions == 0:
+            break
+    payload = {
+        "program": program.name,
+        "backend": "sim",
+        "halted": machine.halted,
+        "instructions": executed,
+        "resumed_instructions": base,
+    }
+    if not args.json:
+        print("%s after %d instructions (eip=0x%x)"
+              % (reason, executed, eip))
+        if base:
+            print("resumed from checkpoint at %d instructions" % base)
+        if checkpointer is not None:
+            print("checkpoints: %d written to %s"
+                  % (checkpointer.saves, checkpointer.directory))
+    return machine, payload
 
 
 def cmd_run(args):
     program = load_program(args.file)
     if args.backend == "real":
-        machine = _run_real_backend(program, args)
+        machine, payload = _run_real_backend(program, args)
     else:
-        machine = program.make_machine()
-        result = machine.run(max_instructions=args.max_instructions)
-        print("%s after %d instructions (eip=0x%x)"
-              % (result.reason, result.instructions, result.eip))
+        machine, payload = _run_sim_backend(program, args)
+    registers = {}
     for reg_name in args.reg or ():
         reg = NAME_TO_REG.get(reg_name.lower())
         if reg is None:
             print("unknown register %r" % reg_name, file=sys.stderr)
             return 2
-        print("%s = %d" % (reg_name, machine.state.get_reg_signed(reg)))
+        registers[reg_name] = machine.state.get_reg_signed(reg)
+    global_values = {}
     for symbol in args.globals or ():
         for candidate in (symbol, "g_" + symbol):
             if candidate in program.symbols:
-                value = machine.state.read_i32(program.symbol(candidate))
-                print("%s = %d" % (symbol, value))
+                global_values[symbol] = machine.state.read_i32(
+                    program.symbol(candidate))
                 break
         else:
             print("unknown global %r" % symbol, file=sys.stderr)
             return 2
+    if args.state_out:
+        with open(args.state_out, "wb") as handle:
+            handle.write(bytes(machine.state.buf))
+    if args.json:
+        payload["registers"] = registers
+        payload["globals"] = global_values
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for name, value in registers.items():
+            print("%s = %d" % (name, value))
+        for name, value in global_values.items():
+            print("%s = %d" % (name, value))
     return 0 if machine.halted else 1
 
 
@@ -140,15 +265,23 @@ def _scale_real_backend(program, args):
     for n_workers in (int(w) for w in args.workers.split(",")):
         runtime_config = RuntimeConfig(
             n_workers=n_workers, superstep_scale=args.superstep_scale)
+        checkpointer, resume_from = _checkpoint_setup(
+            program=program, args=args, subdir="w%d" % n_workers)
         result = RealParallelEngine(
             program, config=config, runtime_config=runtime_config,
-            recognized=recognized).run()
+            recognized=recognized, checkpointer=checkpointer,
+            resume_from=resume_from).run()
         identical = result.final_state == expected
         print("%3d workers: %.3fs wall, %.2fx, %d hits, %d shipped, "
               "identical=%s"
               % (n_workers, result.wall_seconds,
                  result.speedup_vs(seq_wall), result.stats.hits,
                  result.runtime.entries_shipped, identical))
+        if resume_from is not None:
+            # A resumed run replays only the tail; its final state must
+            # still match the uninterrupted sequential reference.
+            print("    (resumed from %d instructions)"
+                  % resume_from.instruction_count)
         if not identical:
             return 1
     return 0
@@ -197,6 +330,82 @@ def cmd_memoize(args):
     return 0
 
 
+_CHAOS_BUILTINS = ("collatz", "ising", "mm2")
+
+
+def _chaos_workload(args):
+    """A (program, engine_config) pair for the chaos target."""
+    target = args.target
+    if target == "collatz":
+        from repro.bench.collatz import build_collatz
+        workload = build_collatz(count=args.size or 300)
+    elif target == "ising":
+        from repro.bench.ising import build_ising
+        workload = build_ising(nodes=args.size or 48, spins=6)
+    elif target == "mm2":
+        from repro.bench.mm2 import build_mm2
+        workload = build_mm2(n=args.size or 10)
+    else:
+        return load_program(target), _engine_config(args)
+    return workload.program, workload.config
+
+
+def cmd_chaos(args):
+    """Run a workload under a seeded fault schedule and assert that the
+    final state is byte-identical to a plain sequential run — the ASC
+    correctness property under adversarial infrastructure."""
+    from repro.runtime import FaultPlan, RealParallelEngine, RuntimeConfig
+
+    program, config = _chaos_workload(args)
+    plan = FaultPlan(seed=args.seed, kills=args.kills,
+                     timeouts=args.timeouts, corruptions=args.corrupts,
+                     slows=args.slows, drops=args.drops,
+                     slow_seconds=args.slow_ms / 1000.0,
+                     spacing=args.spacing)
+    sequential = program.make_machine()
+    sequential.run(max_instructions=args.max_instructions)
+    expected = bytes(sequential.state.buf)
+
+    runtime_config = RuntimeConfig(
+        n_workers=args.workers,
+        max_instructions=args.max_instructions,
+        task_timeout_seconds=args.task_timeout,
+        fault_plan=plan)
+    engine = RealParallelEngine(program, config=config,
+                                runtime_config=runtime_config)
+    result = engine.run()
+    runtime = result.runtime
+    identical = result.final_state == expected
+
+    payload = {
+        "program": program.name,
+        "seed": args.seed,
+        "identical": identical,
+        "halted": result.halted,
+        "wall_seconds": result.wall_seconds,
+        "total_instructions": result.total_instructions,
+        "plan": plan.as_dict(),
+        "stats": result.stats.as_dict(),
+        "runtime": runtime.as_dict(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print("chaos %s seed=%d: injected %s"
+              % (program.name, args.seed,
+                 dict(plan.injected) or "nothing"))
+        if plan.pending:
+            print("  (plan not exhausted; pending: %s)"
+                  % dict(plan.pending))
+        print("%s after %d instructions in %.3fs wall"
+              % ("halted" if result.halted else "limit",
+                 result.total_instructions, result.wall_seconds))
+        print(_supervision_line(runtime))
+        print("final state %s sequential reference"
+              % ("IDENTICAL to" if identical else "DIVERGES from"))
+    return 0 if identical and result.halted else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -215,6 +424,16 @@ def build_parser():
     p.add_argument("file")
     p.set_defaults(func=cmd_disasm)
 
+    def add_checkpoint_flags(p):
+        p.add_argument("--checkpoint-dir", dest="checkpoint_dir",
+                       help="write periodic durable checkpoints here")
+        p.add_argument("--checkpoint-every", dest="checkpoint_every",
+                       type=int, default=1_000_000, metavar="N",
+                       help="checkpoint cadence in instructions")
+        p.add_argument("--resume", action="store_true",
+                       help="resume from the newest valid checkpoint in "
+                            "--checkpoint-dir")
+
     p = sub.add_parser("run", help="execute a program to halt")
     p.add_argument("file")
     p.add_argument("--max-instructions", type=int, default=50_000_000)
@@ -229,6 +448,14 @@ def build_parser():
     p.add_argument("--superstep-scale", type=int, default=1,
                    dest="superstep_scale",
                    help="multiply the recognized superstep (real backend)")
+    p.add_argument("--json", action="store_true",
+                   help="emit a JSON report (stats + runtime counters)")
+    p.add_argument("--state-out", dest="state_out", metavar="PATH",
+                   help="write the final machine state bytes to PATH")
+    p.add_argument("--fault-plan", dest="fault_plan", metavar="SPEC",
+                   help="inject faults, e.g. 'seed=42,kill=2,corrupt=1' "
+                        "(real backend)")
+    add_checkpoint_flags(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("scale", help="ASC scaling sweep")
@@ -249,6 +476,7 @@ def build_parser():
     p.add_argument("--superstep-scale", type=int, default=1,
                    dest="superstep_scale",
                    help="multiply the recognized superstep (real backend)")
+    add_checkpoint_flags(p)
     p.set_defaults(func=cmd_scale)
 
     p = sub.add_parser("memoize",
@@ -258,6 +486,41 @@ def build_parser():
     p.add_argument("--min-superstep", type=int, dest="min_superstep")
     p.add_argument("--hints", action="store_true")
     p.set_defaults(func=cmd_memoize)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run under seeded fault injection; assert the final state "
+             "is byte-identical to a sequential run")
+    p.add_argument("target",
+                   help="builtin workload (%s) or a program file"
+                        % "/".join(_CHAOS_BUILTINS))
+    p.add_argument("--size", type=int,
+                   help="builtin workload size (collatz count / ising "
+                        "nodes / mm2 n)")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--kills", type=int, default=2,
+                   help="workers to SIGKILL mid-task")
+    p.add_argument("--timeouts", type=int, default=2,
+                   help="tasks to push past their deadline")
+    p.add_argument("--corrupts", type=int, default=1,
+                   help="result frames to corrupt on the wire")
+    p.add_argument("--slows", type=int, default=1,
+                   help="results to delay before ingest")
+    p.add_argument("--drops", type=int, default=1,
+                   help="results to drop entirely")
+    p.add_argument("--slow-ms", dest="slow_ms", type=float, default=50.0,
+                   help="delay per slow fault, milliseconds")
+    p.add_argument("--spacing", type=int, default=1,
+                   help="inject at most one fault every N pool events")
+    p.add_argument("--workers", type=int, default=3)
+    p.add_argument("--task-timeout", dest="task_timeout", type=float,
+                   default=30.0)
+    p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p.add_argument("--window", type=int, help="recognizer window")
+    p.add_argument("--min-superstep", type=int, dest="min_superstep")
+    p.add_argument("--hints", action="store_true")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_chaos)
     return parser
 
 

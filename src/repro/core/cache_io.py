@@ -11,10 +11,20 @@ A preloaded entry is sound under the same guarantee as a live one: it is
 an exact fact about the transition function, so it either matches a
 future state on its dependency bytes (and fast-forwards correctly) or
 sits idle. Against a *different* input or program version, entries whose
-dependencies changed simply never match.
+dependencies changed simply never match. That guarantee makes integrity
+checking non-negotiable: a *bit-rotted* entry that still parsed would be
+applied as a trusted fact and corrupt the resumed computation. Format
+version 2 therefore carries a CRC32 per entry; on load, an entry whose
+checksum fails is **quarantined** — skipped and counted
+(``cache.n_quarantined``) — while structural damage that destroys the
+framing (truncation, trailing garbage, a header whose declared array
+lengths point past the end of the blob) still rejects the whole blob
+with :class:`~repro.errors.EngineError`, because nothing after it can
+be trusted.
 """
 
 import struct
+import zlib
 
 import numpy as np
 
@@ -22,10 +32,26 @@ from repro.core.trajectory_cache import CacheEntry, TrajectoryCache
 from repro.errors import EngineError
 
 _MAGIC = b"ASCC"
-_VERSION = 1
+_VERSION = 2
+#: Version 1 blobs (no per-entry CRC) are still readable.
+_VERSION_NO_CRC = 1
 
 _HEADER = struct.Struct("<4sHI")
 _ENTRY = struct.Struct("<IQIBII")
+_CRC = struct.Struct("<I")
+
+
+def _encode_entry(entry):
+    out = bytearray()
+    out += _ENTRY.pack(entry.rip, entry.length, entry.occurrences,
+                       1 if entry.halted else 0,
+                       len(entry.start_indices),
+                       len(entry.end_indices))
+    out += np.asarray(entry.start_indices, dtype="<i8").tobytes()
+    out += np.asarray(entry.start_values, dtype=np.uint8).tobytes()
+    out += np.asarray(entry.end_indices, dtype="<i8").tobytes()
+    out += np.asarray(entry.end_values, dtype=np.uint8).tobytes()
+    return out
 
 
 def serialize_cache(cache):
@@ -34,28 +60,30 @@ def serialize_cache(cache):
     out = bytearray()
     out += _HEADER.pack(_MAGIC, _VERSION, len(entries))
     for entry in entries:
-        out += _ENTRY.pack(entry.rip, entry.length, entry.occurrences,
-                           1 if entry.halted else 0,
-                           len(entry.start_indices),
-                           len(entry.end_indices))
-        out += np.asarray(entry.start_indices, dtype="<i8").tobytes()
-        out += np.asarray(entry.start_values, dtype=np.uint8).tobytes()
-        out += np.asarray(entry.end_indices, dtype="<i8").tobytes()
-        out += np.asarray(entry.end_values, dtype=np.uint8).tobytes()
+        blob = _encode_entry(entry)
+        out += blob
+        out += _CRC.pack(zlib.crc32(bytes(blob)) & 0xFFFFFFFF)
     return bytes(out)
 
 
 def deserialize_cache(data, capacity_bytes=None):
     """Rebuild a :class:`TrajectoryCache` from :func:`serialize_cache`
     output. All entries load with ``ready_time=0`` (they exist before
-    the new run starts)."""
+    the new run starts). Entries failing their CRC are quarantined:
+    skipped and counted in ``cache.n_quarantined`` rather than failing
+    the whole preload."""
     if len(data) < _HEADER.size:
         raise EngineError("cache blob too short for header")
     magic, version, count = _HEADER.unpack_from(data, 0)
     if magic != _MAGIC:
         raise EngineError("not a trajectory-cache blob (bad magic)")
-    if version != _VERSION:
+    if version not in (_VERSION, _VERSION_NO_CRC):
         raise EngineError("unsupported cache format version %d" % version)
+    has_crc = version == _VERSION
+    per_entry_overhead = _ENTRY.size + (_CRC.size if has_crc else 0)
+    if count * per_entry_overhead > len(data) - _HEADER.size:
+        raise EngineError("cache blob declares %d entries but is only "
+                          "%d bytes" % (count, len(data)))
     cache = TrajectoryCache(capacity_bytes=capacity_bytes)
     pos = _HEADER.size
     for __ in range(count):
@@ -63,10 +91,22 @@ def deserialize_cache(data, capacity_bytes=None):
             raise EngineError("truncated cache blob (entry header)")
         rip, length, occurrences, halted, n_start, n_end = \
             _ENTRY.unpack_from(data, pos)
-        pos += _ENTRY.size
-        need = 9 * n_start + 9 * n_end
-        if pos + need > len(data):
+        body_len = _ENTRY.size + 9 * n_start + 9 * n_end
+        # Declared array lengths must fit in what actually remains —
+        # a corrupt header must not walk the cursor past the end (or
+        # into a giant allocation) and silently mis-parse what follows.
+        if body_len > len(data) - pos - (_CRC.size if has_crc else 0):
             raise EngineError("truncated cache blob (entry arrays)")
+        body_end = pos + body_len
+        if has_crc:
+            (crc,) = _CRC.unpack_from(data, body_end)
+            if zlib.crc32(data[pos:body_end]) & 0xFFFFFFFF != crc:
+                # Bit rot inside one entry: the framing survives, so
+                # quarantine just this entry and keep loading.
+                cache.n_quarantined += 1
+                pos = body_end + _CRC.size
+                continue
+        pos += _ENTRY.size
         start_indices = np.frombuffer(data, dtype="<i8", count=n_start,
                                       offset=pos).astype(np.int64)
         pos += 8 * n_start
@@ -79,6 +119,8 @@ def deserialize_cache(data, capacity_bytes=None):
         end_values = np.frombuffer(data, dtype=np.uint8, count=n_end,
                                    offset=pos).copy()
         pos += n_end
+        if has_crc:
+            pos += _CRC.size
         cache.insert(CacheEntry(rip, start_indices, start_values,
                                 end_indices, end_values, length,
                                 occurrences=occurrences, ready_time=0.0,

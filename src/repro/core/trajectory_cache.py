@@ -128,6 +128,7 @@ class TrajectoryCache:
         self.n_entries = 0
         self.n_inserted = 0
         self.n_evicted = 0
+        self.n_quarantined = 0  # corrupt entries skipped during preload
 
     def insert(self, entry):
         """Add an entry; keeps multiple lengths per identical start."""

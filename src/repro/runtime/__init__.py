@@ -15,13 +15,20 @@ Layers:
 * :mod:`repro.runtime.worker` — the worker process main loop (loads the
   program image once, keeps its block cache warm across tasks);
 * :mod:`repro.runtime.pool` — :class:`WorkerPool`: dispatch,
-  backpressure, per-task timeouts, crash detection and respawn;
+  backpressure, per-task timeouts, crash detection;
+* :mod:`repro.runtime.supervisor` — :class:`Supervisor`: per-worker
+  health, circuit breaking with exponential-backoff quarantine, pool
+  shrinking, and the degradation ladder down to sequential execution;
+* :mod:`repro.runtime.faults` — :class:`FaultPlan`: seeded,
+  deterministic fault injection at the pool's failure seams;
 * :mod:`repro.runtime.engine` — :class:`RealParallelEngine`: the
-  Figure 1 loop against real workers and real wall-clock time.
+  Figure 1 loop against real workers and real wall-clock time, with
+  checkpoint/restore via :mod:`repro.core.checkpoint`.
 """
 
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.engine import RealParallelEngine, RealParallelResult
+from repro.runtime.faults import FaultPlan, FaultPlanError
 from repro.runtime.pool import (
     PoolError,
     TASK_CRASHED,
@@ -32,19 +39,24 @@ from repro.runtime.pool import (
     WorkerPool,
 )
 from repro.runtime.stats import RuntimeStats
+from repro.runtime.supervisor import Supervisor, WorkerHealth
 from repro.runtime.wire import WireError
 
 __all__ = [
+    "FaultPlan",
+    "FaultPlanError",
     "PoolError",
     "RealParallelEngine",
     "RealParallelResult",
     "RuntimeConfig",
     "RuntimeStats",
+    "Supervisor",
     "TASK_CRASHED",
     "TASK_FAILED",
     "TASK_OK",
     "TASK_TIMED_OUT",
     "TaskOutcome",
     "WireError",
+    "WorkerHealth",
     "WorkerPool",
 ]

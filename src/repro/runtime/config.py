@@ -54,10 +54,35 @@ class RuntimeConfig:
                  # result. Predictors adapt to the scaled increments
                  # within a few boundaries.
                  superstep_scale=1,
-                 # Pool lifecycle.
+                 # Pool lifecycle. ``respawn_limit`` is a global budget
+                 # spent by respawns and quarantine re-admissions; once
+                 # exhausted, failing slots are retired (the pool
+                 # shrinks) instead of respawned.
                  start_method=None,
                  respawn_limit=32,
-                 max_instructions=500_000_000):
+                 max_instructions=500_000_000,
+                 # Supervision (see runtime/supervisor.py). A worker slot
+                 # whose consecutive crash/timeout streak reaches
+                 # ``breaker_threshold`` is quarantined with exponential
+                 # backoff instead of respawned; below
+                 # ``min_active_workers`` live workers the run degrades
+                 # to sequential execution and re-enables speculation
+                 # only after ``degrade_cooldown_seconds`` of restored
+                 # capacity.
+                 breaker_threshold=3,
+                 quarantine_backoff_seconds=0.25,
+                 quarantine_backoff_max_seconds=30.0,
+                 min_active_workers=1,
+                 degrade_cooldown_seconds=1.0,
+                 # Transport hardening: reject any frame longer than this
+                 # when reading from a pipe, so one corrupt length field
+                 # cannot make either endpoint allocate gigabytes. The
+                 # offender is treated as a crashed worker.
+                 max_frame_bytes=64 * 1024 * 1024,
+                 # Deterministic fault injection: a FaultPlan instance, a
+                 # spec string ("seed=42,kill=2,corrupt=1"), or None.
+                 # When None, REPRO_FAULT_PLAN supplies a spec.
+                 fault_plan=None):
         self.n_workers = n_workers
         self.queue_depth = queue_depth
         self.task_timeout_seconds = task_timeout_seconds
@@ -67,6 +92,21 @@ class RuntimeConfig:
         self.start_method = start_method
         self.respawn_limit = respawn_limit
         self.max_instructions = max_instructions
+        self.breaker_threshold = breaker_threshold
+        self.quarantine_backoff_seconds = quarantine_backoff_seconds
+        self.quarantine_backoff_max_seconds = quarantine_backoff_max_seconds
+        self.min_active_workers = min_active_workers
+        self.degrade_cooldown_seconds = degrade_cooldown_seconds
+        self.max_frame_bytes = max_frame_bytes
+        self.fault_plan = fault_plan
+
+    def resolve_fault_plan(self):
+        """The effective plan: the configured one, or REPRO_FAULT_PLAN."""
+        from repro.runtime.faults import FaultPlan, resolve_fault_plan
+        if self.fault_plan is not None:
+            return resolve_fault_plan(self.fault_plan)
+        spec = os.environ.get("REPRO_FAULT_PLAN")
+        return FaultPlan.parse(spec) if spec else None
 
     def replace(self, **kwargs):
         """A copy with the given fields overridden."""

@@ -30,6 +30,17 @@ Scheduling at a superstep boundary:
    cheaper than executing (an EWMA of task and superstep durations
    decides; on a saturated single core the engine correctly prefers to
    execute, on spare cores it converts pipeline stalls into hits).
+
+Resilience: every boundary first asks the pool's supervisor whether
+speculation is currently allowed. When the pool has degraded below its
+worker floor (crash storms, quarantines), the engine simply stops
+dispatching and waiting — it *is* the sequential fallback, and the
+trajectory cache it has accumulated keeps serving hits — until the
+supervisor re-enables speculation after its cooldown. A
+:class:`~repro.core.checkpoint.Checkpointer` snapshots machine state,
+cumulative instruction count, and the cache at boundary granularity;
+``resume_from`` restarts a killed run from such a snapshot and, by
+determinism, reaches a byte-identical final state.
 """
 
 import time
@@ -104,12 +115,15 @@ class RealParallelEngine:
     shut down afterwards — including on error and KeyboardInterrupt.
     ``boundary_hook``, if given, is called as ``hook(engine, superstep)``
     at every boundary; the crash-injection tests use it to kill workers
-    mid-run.
+    mid-run. ``checkpointer`` (a
+    :class:`~repro.core.checkpoint.Checkpointer`) snapshots the run
+    periodically; ``resume_from`` (a loaded
+    :class:`~repro.core.checkpoint.Checkpoint`) restarts from one.
     """
 
     def __init__(self, program, config=None, runtime_config=None,
                  recognized=None, pool=None, initial_cache=None,
-                 boundary_hook=None):
+                 boundary_hook=None, checkpointer=None, resume_from=None):
         self.program = program
         self.config = config or EngineConfig()
         self.runtime_config = runtime_config or RuntimeConfig()
@@ -117,8 +131,11 @@ class RealParallelEngine:
         self.pool = pool
         self.initial_cache = initial_cache
         self.boundary_hook = boundary_hook
+        self.checkpointer = checkpointer
+        self.resume_from = resume_from
         # Exposed for tests/CLI after run():
         self.machine = None
+        self.resumed_instructions = 0
 
     # -- helpers -------------------------------------------------------------
 
@@ -163,15 +180,47 @@ class RealParallelEngine:
         main = program.make_machine(fast_path=config.fast_path)
         self.machine = main
         guard = rtc.max_instructions
+        base_instructions = 0
+
+        if self.resume_from is not None:
+            ck = self.resume_from
+            if len(ck.state) != len(main.state.buf):
+                raise EngineError(
+                    "checkpoint state is %d bytes but this program's "
+                    "state vector is %d — wrong program or version?"
+                    % (len(ck.state), len(main.state.buf)))
+            main.state.buf[:] = ck.state
+            main.instruction_count = ck.instruction_count
+            base_instructions = ck.instruction_count
+            self.resumed_instructions = base_instructions
+            restored = ck.load_cache()
+            if restored is not None:
+                for entry in restored.entries():
+                    cache.insert(entry.with_ready_time(0.0))
+            runtime.checkpoints_restored += 1
+            if self.checkpointer is not None:
+                self.checkpointer.note_resumed(base_instructions)
+
+        def progress():
+            return (stats.instructions_executed
+                    + stats.instructions_fast_forwarded)
+
+        def checkpoint():
+            if self.checkpointer is None:
+                return
+            saved = self.checkpointer.maybe_save(
+                base_instructions + progress(), bytes(main.state.buf),
+                cache)
+            if saved:
+                runtime.checkpoints_written += 1
 
         t0 = time.perf_counter()
 
         if recognized is None:
             # No recognizable structure (tiny or phaseless program):
             # degrade to a plain run — still a valid backend result.
-            result = main.run(max_instructions=guard)
+            self._plain_run(main, stats, guard, checkpoint)
             wall = time.perf_counter() - t0
-            stats.instructions_executed += result.instructions
             return self._result(main, None, wall, stats, runtime, cache)
 
         rip = recognized.ip
@@ -273,12 +322,9 @@ class RealParallelEngine:
                 # The recognized RIP died (phase change / tail): run
                 # plainly to halt. Workers may still be finishing; their
                 # entries are simply never used.
-                tail = main.run(max_instructions=guard)
-                stats.instructions_executed += tail.instructions
+                self._plain_run(main, stats, guard, checkpoint)
                 break
-            progress = (stats.instructions_executed
-                        + stats.instructions_fast_forwarded)
-            if progress > guard:
+            if progress() > guard:
                 raise EngineError("real engine exceeded instruction guard")
 
             # -- boundary processing; fast-forwards chain here ------------
@@ -287,16 +333,25 @@ class RealParallelEngine:
                 if self.boundary_hook is not None:
                     self.boundary_hook(self, stats.supersteps)
                 drain(0.0)
+                # The supervisor's verdict: a pool that fell below its
+                # worker floor degrades the run to sequential execution
+                # (no dispatch, no waiting) without touching the cache;
+                # after its cooldown, speculation resumes mid-run.
+                speculating = pool.speculation_allowed()
+                if not speculating:
+                    runtime.degraded_boundaries += 1
                 buf = main.state.buf
                 snapshot = bytes(buf)
+                checkpoint()
                 view = tracker.observe(snapshot)
                 if view is not None:
                     ensemble.observe(view)
                     allocator.advance(view)
-                    dispatch(snapshot, view)
+                    if speculating:
+                        dispatch(snapshot, view)
                 stats.queries += 1
                 entry = cache.lookup(rip, buf)
-                if entry is None and view is not None:
+                if entry is None and speculating and view is not None:
                     entry = self._await_inflight(
                         pool, drain, inflight, mask, view, task_ewma,
                         superstep_ewma, runtime, cache, rip, buf)
@@ -308,9 +363,7 @@ class RealParallelEngine:
                 if id(entry) in entry_ids:
                     used_entries.add(id(entry))
                 stats.instructions_fast_forwarded += entry.length
-                progress = (stats.instructions_executed
-                            + stats.instructions_fast_forwarded)
-                if progress > guard:
+                if progress() > guard:
                     raise EngineError("fast-forward exceeded instruction "
                                       "guard; cyclic cache entry?")
                 if main.halted:
@@ -321,6 +374,24 @@ class RealParallelEngine:
         runtime.entries_used = len(used_entries)
         runtime.tasks_wasted = runtime.entries_shipped - len(used_entries)
         return self._result(main, recognized, wall, stats, runtime, cache)
+
+    def _plain_run(self, main, stats, guard, checkpoint):
+        """Sequential execution to halt, chunked so checkpoints still
+        land at their cadence even without superstep boundaries."""
+        chunk = guard
+        if self.checkpointer is not None \
+                and self.checkpointer.every_instructions is not None:
+            chunk = max(1, self.checkpointer.every_instructions)
+        while not main.halted:
+            remaining = guard - stats.instructions_executed
+            if remaining <= 0:
+                break
+            result = main.run(max_instructions=min(chunk, remaining))
+            stats.instructions_executed += result.instructions
+            if not main.halted:
+                checkpoint()
+            if result.instructions == 0:
+                break
 
     def _await_inflight(self, pool, drain, inflight, mask, view, task_ewma,
                         superstep_ewma, runtime, cache, rip, buf):

@@ -1,0 +1,214 @@
+"""Deterministic fault injection for the multiprocess runtime.
+
+The paper's correctness argument makes speculation disposable: a cache
+entry either matches a future state on its dependency bytes or sits
+idle, so the runtime must keep making byte-identical progress no matter
+how badly the speculative tier misbehaves. This module turns that claim
+into something testable. A :class:`FaultPlan` is a *seeded schedule* of
+failures injected at the seams the pool already has to survive:
+
+* ``kill`` — SIGKILL a worker right after a task is dispatched to it
+  (mid-task crash; exercises EOF detection and respawn);
+* ``timeout`` — backdate a task's dispatch time past the deadline so
+  the reaper kills the worker (deadline-overrun path);
+* ``corrupt`` — flip or truncate bytes of a received result frame
+  (exercises wire checksum rejection and the crash-equivalent path);
+* ``slow`` — stall ingestion of a result (latency spike; feeds the
+  EWMA and the inflight-wait ledger);
+* ``drop`` — discard a received result outright (the worker answered,
+  the answer is lost; the target must be re-speculated).
+
+The plan is deterministic given its seed: the *decision sequence* (which
+dispatch/receive event gets which fault) is fixed up front, so a chaos
+run is reproducible modulo OS scheduling. `repro chaos` and the CI
+chaos job run benchmarks under seeded plans and assert the final state
+stays byte-identical to sequential execution.
+
+Configure via ``RuntimeConfig(fault_plan=FaultPlan(...))``, a spec
+string (``RuntimeConfig(fault_plan="seed=42,kill=2,corrupt=1")``), or
+the ``REPRO_FAULT_PLAN`` environment variable with the same syntax.
+"""
+
+import random
+from collections import Counter, deque
+
+from repro.errors import ReproError
+
+#: Fault kinds injected when a task is dispatched to a worker.
+DISPATCH_KINDS = ("kill", "timeout")
+#: Fault kinds injected when a result frame is received from a worker.
+RECEIVE_KINDS = ("corrupt", "slow", "drop")
+ALL_KINDS = DISPATCH_KINDS + RECEIVE_KINDS
+
+
+class FaultPlanError(ReproError):
+    """A fault-plan spec string could not be parsed."""
+
+
+class FaultPlan:
+    """A seeded, finite schedule of runtime faults.
+
+    ``kills``/``timeouts`` are spent on dispatch events and
+    ``corruptions``/``slows``/``drops`` on receive events, one fault per
+    eligible event. The first ``start_after`` events of each side are
+    left clean (so the run establishes some healthy baseline), after
+    which every ``spacing``-th event consumes the next fault from a
+    seeded shuffle of the remaining quota. ``injected`` counts what was
+    actually spent — tests assert against it.
+    """
+
+    def __init__(self, seed=0, kills=0, timeouts=0, corruptions=0,
+                 slows=0, drops=0, slow_seconds=0.05, start_after=2,
+                 spacing=2):
+        if min(kills, timeouts, corruptions, slows, drops) < 0:
+            raise FaultPlanError("fault quotas must be >= 0")
+        if spacing < 1:
+            raise FaultPlanError("spacing must be >= 1")
+        self.seed = seed
+        self.kills = kills
+        self.timeouts = timeouts
+        self.corruptions = corruptions
+        self.slows = slows
+        self.drops = drops
+        self.slow_seconds = slow_seconds
+        self.start_after = start_after
+        self.spacing = spacing
+        rng = random.Random(seed)
+        dispatch = ["kill"] * kills + ["timeout"] * timeouts
+        receive = (["corrupt"] * corruptions + ["slow"] * slows
+                   + ["drop"] * drops)
+        rng.shuffle(dispatch)
+        rng.shuffle(receive)
+        self._dispatch_queue = deque(dispatch)
+        self._receive_queue = deque(receive)
+        self._rng = rng  # drives corruption shapes, deterministically
+        self._dispatch_events = 0
+        self._receive_events = 0
+        self.injected = Counter()
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _next(self, queue, event_index, allowed):
+        if not queue:
+            return None
+        if event_index < self.start_after:
+            return None
+        if (event_index - self.start_after) % self.spacing != 0:
+            return None
+        # Pop the first allowed kind; an unallowed head (e.g. a timeout
+        # fault when deadlines are disabled) is skipped for this event
+        # but stays queued.
+        for __ in range(len(queue)):
+            kind = queue.popleft()
+            if allowed is None or kind in allowed:
+                self.injected[kind] += 1
+                return kind
+            queue.append(kind)
+        return None
+
+    def next_dispatch_fault(self, allowed=None):
+        """Fault to apply to this dispatch event (or ``None``)."""
+        kind = self._next(self._dispatch_queue, self._dispatch_events,
+                          allowed)
+        self._dispatch_events += 1
+        return kind
+
+    def next_receive_fault(self, allowed=None):
+        """Fault to apply to this received result frame (or ``None``)."""
+        kind = self._next(self._receive_queue, self._receive_events,
+                          allowed)
+        self._receive_events += 1
+        return kind
+
+    def corrupt_bytes(self, data):
+        """Deterministically damage one frame.
+
+        Alternates (by plan RNG) between truncation and a byte flip;
+        either is guaranteed to be rejected by the wire layer — a
+        truncated frame fails structural checks and a flipped byte
+        fails the header checksum (or the magic/version fields
+        themselves).
+        """
+        if len(data) < 2:
+            return b""
+        if self._rng.random() < 0.5:
+            return bytes(data[:self._rng.randrange(1, len(data))])
+        mutated = bytearray(data)
+        mutated[self._rng.randrange(len(mutated))] ^= 0xFF
+        return bytes(mutated)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def exhausted(self):
+        """Every scheduled fault has been injected."""
+        return not self._dispatch_queue and not self._receive_queue
+
+    @property
+    def pending(self):
+        """Faults scheduled but not yet injected, by kind."""
+        return Counter(self._dispatch_queue) + Counter(self._receive_queue)
+
+    def as_dict(self):
+        return {
+            "seed": self.seed,
+            "scheduled": {"kill": self.kills, "timeout": self.timeouts,
+                          "corrupt": self.corruptions, "slow": self.slows,
+                          "drop": self.drops},
+            "injected": dict(self.injected),
+            "pending": dict(self.pending),
+        }
+
+    # -- spec strings --------------------------------------------------------
+
+    _SPEC_KEYS = {
+        "seed": ("seed", int),
+        "kill": ("kills", int),
+        "timeout": ("timeouts", int),
+        "corrupt": ("corruptions", int),
+        "slow": ("slows", int),
+        "drop": ("drops", int),
+        "slow_ms": ("slow_seconds", lambda v: int(v) / 1000.0),
+        "start": ("start_after", int),
+        "spacing": ("spacing", int),
+    }
+
+    @classmethod
+    def parse(cls, spec):
+        """Build a plan from ``"seed=42,kill=2,timeout=1,corrupt=1"``."""
+        kwargs = {}
+        for item in str(spec).split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise FaultPlanError("bad fault-plan item %r (want key=value)"
+                                     % item)
+            key, __, value = item.partition("=")
+            entry = cls._SPEC_KEYS.get(key.strip())
+            if entry is None:
+                raise FaultPlanError(
+                    "unknown fault-plan key %r (known: %s)"
+                    % (key.strip(), ", ".join(sorted(cls._SPEC_KEYS))))
+            name, convert = entry
+            try:
+                kwargs[name] = convert(value.strip())
+            except ValueError:
+                raise FaultPlanError("bad value %r for fault-plan key %r"
+                                     % (value.strip(), key.strip()))
+        return cls(**kwargs)
+
+    def __repr__(self):
+        return ("FaultPlan(seed=%d, kill=%d, timeout=%d, corrupt=%d, "
+                "slow=%d, drop=%d, injected=%s)"
+                % (self.seed, self.kills, self.timeouts, self.corruptions,
+                   self.slows, self.drops, dict(self.injected)))
+
+
+def resolve_fault_plan(value):
+    """Normalize a config value: plan, spec string, or ``None``."""
+    if value is None:
+        return None
+    if isinstance(value, FaultPlan):
+        return value
+    return FaultPlan.parse(value)

@@ -1,27 +1,42 @@
 """A pool of persistent speculation workers on real cores.
 
-The pool owns N OS processes (:func:`~repro.runtime.worker.worker_main`)
-connected by duplex pipes. The engine talks to it through three calls:
+The pool owns up to N OS processes (:func:`~repro.runtime.worker.worker_main`)
+connected by duplex pipes. The engine talks to it through four calls:
 :meth:`WorkerPool.submit` (assign a speculation to an idle slot, with
 backpressure when every worker is at its queue depth), :meth:`poll`
-(collect finished results, enforce per-task deadlines, detect and
-replace dead workers), and :meth:`shutdown`.
+(collect finished results, enforce per-task deadlines, detect dead
+workers), :meth:`speculation_allowed` (the supervisor's verdict on
+whether dispatching is currently sane), and :meth:`shutdown`.
 
 Failure policy — speculation is *disposable* work, so every failure
 mode degrades to "that task produced nothing":
 
 * a worker that crashes (killed, segfaults the interpreter, OOM) is
-  detected by pipe EOF / liveness, its in-flight tasks are reported as
-  :data:`TASK_CRASHED`, and a fresh worker is spawned in its place;
+  detected by pipe EOF / liveness and its in-flight tasks are reported
+  as :data:`TASK_CRASHED`;
 * a worker whose oldest task outlives the deadline is killed outright
   (a stuck pipe or runaway loop must not stall the engine) and its
   tasks are reported as :data:`TASK_TIMED_OUT`;
+* a frame that is oversized, fails its checksum, or violates the
+  protocol is treated exactly like a crash — the sender cannot be
+  trusted, so it is killed and its queue reported crashed;
 * a worker that reports a fault or exhausted budget yields
   :data:`TASK_FAILED` — the predicted state was garbage, which the
   paper's design explicitly tolerates.
 
-The engine decides whether to re-speculate; the pool only guarantees
-that every submitted task eventually produces exactly one outcome.
+What happens to the failed *slot* is the supervisor's decision
+(:mod:`repro.runtime.supervisor`): respawn while the budget lasts,
+quarantine with exponential backoff when a slot keeps failing (the
+pool shrinks instead of respawn-storming), retire it for good once
+the budget is spent. The engine decides whether to re-speculate; the
+pool only guarantees that every submitted task eventually produces
+exactly one outcome.
+
+A seeded :class:`~repro.runtime.faults.FaultPlan` (via
+``RuntimeConfig.fault_plan`` or ``REPRO_FAULT_PLAN``) injects failures
+at these exact seams — dispatch-time kills and deadline overruns,
+receive-time corruption, latency, and result drops — so every path
+above is exercised deterministically by `repro chaos` and the tests.
 """
 
 import itertools
@@ -34,6 +49,7 @@ from repro.errors import ReproError
 from repro.runtime import wire
 from repro.runtime.config import RuntimeConfig, default_start_method
 from repro.runtime.stats import RuntimeStats
+from repro.runtime.supervisor import RESPAWN, Supervisor
 from repro.runtime.worker import worker_main
 
 #: Task outcome statuses (pool-level view; the wire-level OK/FAULT/
@@ -45,7 +61,7 @@ TASK_CRASHED = "crashed"
 
 
 class PoolError(ReproError):
-    """The worker pool was misused or gave up (respawn storm)."""
+    """The worker pool was misused."""
 
 
 class SpeculationTask:
@@ -106,19 +122,26 @@ class _Worker:
 
 
 class WorkerPool:
-    """Persistent multiprocess speculation workers for one program."""
+    """Persistent multiprocess speculation workers for one program.
+
+    ``self._workers`` is a fixed list of *slots*; a slot holds a live
+    :class:`_Worker` or ``None`` while quarantined/retired, so the pool
+    can shrink and re-grow without renumbering anything.
+    """
 
     def __init__(self, program, config=None, stats=None):
         self.config = config or RuntimeConfig()
         if self.config.n_workers < 1:
             raise PoolError("n_workers must be >= 1")
         self.stats = stats or RuntimeStats()
+        self.supervisor = Supervisor(self.config, self.stats)
+        self.faults = self.config.resolve_fault_plan()
         self._program_payload = program.to_dict()
         self._fast_path = None  # workers follow REPRO_FAST_PATH by default
         self._ctx = multiprocessing.get_context(
             self.config.start_method or default_start_method())
         self._task_ids = itertools.count(1)
-        self._respawns = 0
+        self._deferred = []  # outcomes produced outside poll (submit-time)
         self._closed = False
         self._workers = [self._spawn(i) for i in range(self.config.n_workers)]
 
@@ -128,14 +151,33 @@ class WorkerPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=worker_main,
-            args=(child_conn, self._program_payload, self._fast_path),
+            args=(child_conn, self._program_payload, self._fast_path,
+                  self.config.max_frame_bytes),
             name="repro-spec-%d" % index, daemon=True)
         proc.start()
         child_conn.close()
         return _Worker(index, proc, parent_conn)
 
-    def _respawn(self, worker):
-        """Replace a dead/killed worker in place."""
+    def _live(self):
+        return [w for w in self._workers if w is not None]
+
+    def _fail_worker(self, worker, status):
+        """One worker failed: report its queue, let the supervisor rule.
+
+        Returns the outcomes for its in-flight tasks. The slot is
+        respawned, left empty (quarantine — re-admitted by
+        :meth:`_admit_due` after backoff), or retired, per the
+        supervisor's directive.
+        """
+        outcomes = []
+        now = time.monotonic()
+        counter = ("tasks_crashed" if status == TASK_CRASHED
+                   else "tasks_timed_out")
+        for task in worker.inflight:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+            outcomes.append(TaskOutcome(task, status,
+                                        duration=now - task.dispatch_time))
+        worker.inflight.clear()
         try:
             worker.conn.close()
         except OSError:
@@ -143,29 +185,49 @@ class WorkerPool:
         if worker.proc.is_alive():
             worker.proc.kill()
         worker.proc.join(timeout=5.0)
-        self._respawns += 1
-        self.stats.workers_respawned += 1
-        if self._respawns > self.config.respawn_limit:
-            raise PoolError("worker respawn limit (%d) exceeded; the "
-                            "program or platform is killing workers faster "
-                            "than speculation can use them"
-                            % self.config.respawn_limit)
-        fresh = self._spawn(worker.index)
-        self._workers[worker.index] = fresh
-        return fresh
+        kind = "timeout" if status == TASK_TIMED_OUT else "crash"
+        directive = self.supervisor.note_failure(worker.index, kind)
+        if directive == RESPAWN:
+            self.stats.workers_respawned += 1
+            self._workers[worker.index] = self._spawn(worker.index)
+        else:  # quarantined or retired: the pool shrinks for now
+            self._workers[worker.index] = None
+        return outcomes
+
+    def _admit_due(self):
+        """Respawn quarantined slots whose backoff has expired."""
+        if self._closed:
+            return
+        for slot in self.supervisor.due_readmissions():
+            if self._workers[slot] is not None:
+                continue
+            if self.supervisor.authorize_readmission(slot):
+                self.stats.workers_respawned += 1
+                self._workers[slot] = self._spawn(slot)
+
+    def speculation_allowed(self):
+        """Supervisor verdict: may the engine dispatch right now?
+
+        Also the re-admission heartbeat — called every boundary, it
+        brings quarantined slots back as their backoff expires.
+        """
+        if self._closed:
+            return False
+        self._admit_due()
+        return self.supervisor.speculation_allowed(self.active_workers)
 
     def shutdown(self):
         """Stop every worker; polite first, then by force. Idempotent."""
         if self._closed:
             return
         self._closed = True
-        for worker in self._workers:
+        for worker in self._live():
             try:
                 worker.conn.send_bytes(wire.encode_shutdown())
             except (OSError, ValueError, BrokenPipeError):
                 pass
         deadline = time.monotonic() + 2.0
-        for worker in self._workers:
+        for worker in self._live():
             worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
             if worker.proc.is_alive():
                 worker.proc.kill()
@@ -185,56 +247,85 @@ class WorkerPool:
 
     @property
     def n_workers(self):
+        """Configured slot count (the pool's nominal width)."""
         return len(self._workers)
+
+    @property
+    def active_workers(self):
+        """Slots currently holding a live worker."""
+        return len(self._live())
 
     def idle_slots(self):
         """How many more tasks :meth:`submit` would accept right now."""
         depth = self.config.queue_depth
-        return sum(max(0, depth - len(w.inflight)) for w in self._workers)
+        return sum(max(0, depth - len(w.inflight)) for w in self._live())
 
     def inflight_count(self):
-        return sum(len(w.inflight) for w in self._workers)
+        return sum(len(w.inflight) for w in self._live())
 
     def worker_pids(self):
         """Live worker PIDs (fault-injection tests kill these)."""
-        return [w.proc.pid for w in self._workers]
+        return [w.proc.pid for w in self._live()]
 
     # -- dispatch ------------------------------------------------------------
 
     def submit(self, rip, occurrences, max_instructions, start_state,
                meta=None):
-        """Assign a speculation to the least-loaded worker.
+        """Assign a speculation to the least-loaded live worker.
 
         Returns the :class:`SpeculationTask`, or ``None`` when every
-        worker is at its queue depth (backpressure — the caller simply
-        tries again at the next superstep boundary).
+        live worker is at its queue depth — or none are live at all
+        (backpressure — the caller simply tries again at the next
+        superstep boundary).
         """
         if self._closed:
             raise PoolError("submit on a shut-down pool")
-        worker = min(self._workers, key=lambda w: len(w.inflight))
-        if len(worker.inflight) >= self.config.queue_depth:
-            self.stats.dispatch_backpressure += 1
-            return None
         task_id = next(self._task_ids)
         payload = wire.encode_task(task_id, rip, occurrences,
                                    max_instructions, start_state)
-        task = SpeculationTask(task_id, rip, occurrences, max_instructions,
-                               meta, time.monotonic(), len(payload),
-                               worker.index)
-        try:
-            worker.conn.send_bytes(payload)
-        except (OSError, ValueError, BrokenPipeError):
-            # Found dead at dispatch time: replace it and report the
-            # crash through the normal outcome path on the next poll by
-            # queueing the task against the fresh worker.
-            worker = self._respawn(worker)
-            task.worker = worker.index
-            task.dispatch_time = time.monotonic()
-            worker.conn.send_bytes(payload)
-        worker.inflight.append(task)
-        self.stats.tasks_dispatched += 1
-        self.stats.bytes_sent += len(payload)
-        return task
+        # A worker found dead at dispatch time is failed through the
+        # normal supervision path (its outcomes surface on the next
+        # poll) and the dispatch retries on whatever is still live.
+        for __ in range(self.n_workers + 1):
+            live = self._live()
+            if not live:
+                self.stats.dispatch_backpressure += 1
+                return None
+            worker = min(live, key=lambda w: len(w.inflight))
+            if len(worker.inflight) >= self.config.queue_depth:
+                self.stats.dispatch_backpressure += 1
+                return None
+            try:
+                worker.conn.send_bytes(payload)
+            except (OSError, ValueError, BrokenPipeError):
+                self._deferred.extend(self._fail_worker(worker, TASK_CRASHED))
+                continue
+            task = SpeculationTask(task_id, rip, occurrences,
+                                   max_instructions, meta, time.monotonic(),
+                                   len(payload), worker.index)
+            worker.inflight.append(task)
+            self.stats.tasks_dispatched += 1
+            self.stats.bytes_sent += len(payload)
+            self._inject_dispatch_fault(worker, task)
+            return task
+        return None
+
+    def _inject_dispatch_fault(self, worker, task):
+        if self.faults is None:
+            return
+        allowed = ["kill"]
+        if self.config.task_timeout_seconds is not None:
+            allowed.append("timeout")
+        kind = self.faults.next_dispatch_fault(allowed)
+        if kind is None:
+            return
+        self.stats.faults_injected += 1
+        if kind == "kill":
+            worker.proc.kill()  # detected as EOF/liveness on the next poll
+        elif kind == "timeout":
+            # Backdate past the deadline so the reaper fires the real
+            # deadline-overrun path (kill + timed-out outcomes).
+            task.dispatch_time -= self.config.task_timeout_seconds + 1.0
 
     # -- collection ----------------------------------------------------------
 
@@ -245,11 +336,15 @@ class WorkerPool:
         crash, or deadline kill) has been produced; an empty list means
         the timeout elapsed with all workers still busy or idle.
         """
+        self._admit_due()
         outcomes = []
+        if self._deferred:
+            outcomes.extend(self._deferred)
+            self._deferred = []
         deadline = time.monotonic() + max(0.0, timeout)
         while True:
             outcomes.extend(self._reap_expired())
-            busy = {w.conn: w for w in self._workers if w.inflight}
+            busy = {w.conn: w for w in self._live() if w.inflight}
             if not busy:
                 break
             remaining = deadline - time.monotonic()
@@ -262,29 +357,68 @@ class WorkerPool:
             ready = _conn_wait(list(busy), timeout=min(remaining, 0.05))
             for conn in ready:
                 worker = busy[conn]
+                if self._workers[worker.index] is not worker:
+                    continue  # already failed earlier in this batch
                 try:
-                    data = conn.recv_bytes()
+                    data = conn.recv_bytes(self.config.max_frame_bytes)
                 except (EOFError, OSError):
-                    outcomes.extend(self._declare_dead(worker, TASK_CRASHED))
+                    outcomes.extend(self._fail_worker(worker, TASK_CRASHED))
                     continue
-                outcomes.append(self._ingest(worker, data))
+                data, dropped = self._inject_receive_fault(worker, data,
+                                                           outcomes)
+                if dropped:
+                    continue
+                try:
+                    outcomes.append(self._ingest(worker, data))
+                except wire.WireError:
+                    # Corrupt or protocol-violating frame: the sender
+                    # cannot be trusted any further — worker-crash path.
+                    self.stats.frames_rejected += 1
+                    outcomes.extend(self._fail_worker(worker, TASK_CRASHED))
             if not ready and time.monotonic() >= deadline:
                 break
             if outcomes and not ready:
                 break
         return outcomes
 
+    def _inject_receive_fault(self, worker, data, outcomes):
+        """Apply a scheduled receive-side fault. Returns
+        ``(data, dropped)``; corrupt mutates, slow stalls, drop
+        discards the frame (the result is lost, the task reported
+        crashed so the engine re-speculates)."""
+        if self.faults is None:
+            return data, False
+        kind = self.faults.next_receive_fault()
+        if kind is None:
+            return data, False
+        self.stats.faults_injected += 1
+        if kind == "corrupt":
+            return self.faults.corrupt_bytes(data), False
+        if kind == "slow":
+            time.sleep(self.faults.slow_seconds)
+            return data, False
+        # drop: the worker answered its FIFO head; discard the answer.
+        if worker.inflight:
+            task = worker.inflight.popleft()
+            self.stats.results_dropped += 1
+            outcomes.append(TaskOutcome(
+                task, TASK_CRASHED,
+                duration=time.monotonic() - task.dispatch_time))
+        return data, True
+
     def _ingest(self, worker, data):
-        msg_type, pos = wire.decode_message(data)
+        msg_type, pos = wire.decode_message(data,
+                                            self.config.max_frame_bytes)
         if msg_type != wire.MSG_RESULT:
-            raise PoolError("worker %d sent unexpected message type %d"
-                            % (worker.index, msg_type))
+            raise wire.WireError("worker %d sent unexpected message type %d"
+                                 % (worker.index, msg_type))
         msg = wire.decode_result(data, pos)
         if not worker.inflight or worker.inflight[0].task_id != msg.task_id:
-            raise PoolError("worker %d answered task %d out of order"
-                            % (worker.index, msg.task_id))
+            raise wire.WireError("worker %d answered task %d out of order"
+                                 % (worker.index, msg.task_id))
         task = worker.inflight.popleft()
         duration = time.monotonic() - task.dispatch_time
+        self.supervisor.note_success(worker.index, duration)
         self.stats.tasks_completed += 1
         self.stats.bytes_received += len(data)
         self.stats.worker_instructions += msg.instructions
@@ -298,33 +432,15 @@ class WorkerPool:
                            instructions=msg.instructions, halted=msg.halted,
                            fault=msg.fault, duration=duration)
 
-    def _declare_dead(self, worker, status):
-        """Turn a dead worker's queue into outcomes and respawn it."""
-        outcomes = []
-        now = time.monotonic()
-        counter = ("tasks_crashed" if status == TASK_CRASHED
-                   else "tasks_timed_out")
-        for task in worker.inflight:
-            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
-            outcomes.append(TaskOutcome(task, status,
-                                        duration=now - task.dispatch_time))
-        worker.inflight.clear()
-        self._respawn(worker)
-        return outcomes
-
     def _reap_expired(self):
         """Kill workers whose oldest task blew the deadline."""
         timeout = self.config.task_timeout_seconds
-        if timeout is None:
-            return []
         now = time.monotonic()
         outcomes = []
-        for worker in list(self._workers):
-            if worker.inflight and \
+        for worker in self._live():
+            if timeout is not None and worker.inflight and \
                     now - worker.inflight[0].dispatch_time > timeout:
-                worker.proc.kill()
-                worker.proc.join(timeout=5.0)
-                outcomes.extend(self._declare_dead(worker, TASK_TIMED_OUT))
+                outcomes.extend(self._fail_worker(worker, TASK_TIMED_OUT))
             elif not worker.proc.is_alive():
-                outcomes.extend(self._declare_dead(worker, TASK_CRASHED))
+                outcomes.extend(self._fail_worker(worker, TASK_CRASHED))
         return outcomes

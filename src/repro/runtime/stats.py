@@ -2,10 +2,14 @@
 
 The transport-level counters (bytes, crashes, respawns, timeouts) are
 incremented by the :class:`~repro.runtime.pool.WorkerPool`; the
-scheduling-level counters (dispatched, wasted, waits) by the
+supervision counters (breaker trips, quarantines, degradations) by the
+:class:`~repro.runtime.supervisor.Supervisor`; the scheduling-level
+counters (dispatched, wasted, waits) by the
 :class:`~repro.runtime.engine.RealParallelEngine`. One object holds
-both so a result can report the whole picture, mirroring how
+all three so a result can report the whole picture, mirroring how
 :class:`~repro.core.stats.RunStats` serves the simulated engine.
+:meth:`as_dict` feeds ``repro run --backend real --json`` so chaos
+runs are machine-checkable.
 """
 
 
@@ -28,6 +32,21 @@ class RuntimeStats:
         self.inflight_waits = 0  # boundaries spent waiting on a worker
         self.inflight_wait_seconds = 0.0
         self.dispatch_backpressure = 0  # dispatches skipped: no idle slot
+        # -- supervision (runtime/supervisor.py) -----------------------
+        self.breaker_trips = 0  # circuit breaker openings (quarantine events)
+        self.workers_quarantined = 0  # currently in quarantine (gauge)
+        self.workers_readmitted = 0  # quarantined slots brought back
+        self.workers_retired = 0  # slots shrunk away for good
+        self.pool_degradations = 0  # times the run fell below the floor
+        self.speculation_reenabled = 0  # recoveries out of degraded mode
+        self.degraded_boundaries = 0  # boundaries run without speculation
+        # -- transport hardening / fault injection ---------------------
+        self.frames_rejected = 0  # corrupt/oversized/protocol-violating
+        self.results_dropped = 0  # results discarded by fault injection
+        self.faults_injected = 0  # fault-plan events actually applied
+        # -- checkpointing ---------------------------------------------
+        self.checkpoints_written = 0
+        self.checkpoints_restored = 0
 
     def as_dict(self):
         return dict(self.__dict__)

@@ -4,7 +4,16 @@ Every message between the engine and a worker is one framed byte string
 (the framing itself — a length prefix — is provided by
 ``multiprocessing.Connection.send_bytes``). A message is::
 
-    [ 4B magic "ASCP" | u16 version | u8 type | payload ]
+    [ 4B magic "ASCP" | u16 version | u8 type | u32 CRC32(payload) | payload ]
+
+The payload CRC makes corruption detection *sound*: a cache entry is
+applied to the main state as a trusted fact, so a bit-flipped frame
+that still parsed structurally would silently poison the final state.
+With the checksum, any damage — flipped byte, truncation, garbage —
+is rejected at :func:`decode_message` and the sender is treated as a
+crashed worker. Endpoints additionally bound the frame size they will
+read (``RuntimeConfig.max_frame_bytes``) so one corrupt length field
+in the pipe's own framing cannot force a gigabyte allocation.
 
 Three message types exist: a :data:`MSG_TASK` carrying a speculation
 assignment (predicted full start state, recognized IP, occurrence
@@ -23,6 +32,7 @@ reject the stream loudly instead of misinterpreting it.
 """
 
 import struct
+import zlib
 
 import numpy as np
 
@@ -30,7 +40,10 @@ from repro.core.trajectory_cache import CacheEntry
 from repro.errors import ReproError
 
 WIRE_MAGIC = b"ASCP"
-WIRE_VERSION = 1
+WIRE_VERSION = 2
+
+#: Default ceiling on a single frame; RuntimeConfig can override.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 MSG_TASK = 1
 MSG_RESULT = 2
@@ -42,7 +55,7 @@ RESULT_FAULT = 1  # the predicted state faulted (no entry)
 RESULT_BUDGET = 2  # wandering budget exhausted mid-superstep (no entry)
 RESULT_EMPTY = 3  # zero instructions executed (e.g. already halted)
 
-_HEADER = struct.Struct("<4sHB")
+_HEADER = struct.Struct("<4sHBI")  # magic, version, type, payload CRC32
 _TASK = struct.Struct("<QIIQI")  # task_id, rip, occurrences, budget, state_len
 _RESULT = struct.Struct("<QBQBBH")  # task_id, status, instructions,
 #                                     halted, has_entry, fault_len
@@ -129,14 +142,19 @@ def decode_entry(data, pos=0):
 # -- messages ----------------------------------------------------------------
 
 def _frame(msg_type, payload):
-    return _HEADER.pack(WIRE_MAGIC, WIRE_VERSION, msg_type) + payload
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return _HEADER.pack(WIRE_MAGIC, WIRE_VERSION, msg_type, crc) + payload
 
 
-def decode_message(data):
-    """Validate the header; return ``(msg_type, payload_offset)``."""
+def decode_message(data, max_frame_bytes=None):
+    """Validate header and payload checksum; return
+    ``(msg_type, payload_offset)``."""
+    if max_frame_bytes is not None and len(data) > max_frame_bytes:
+        raise WireError("frame of %d bytes exceeds the %d-byte limit"
+                        % (len(data), max_frame_bytes))
     if len(data) < _HEADER.size:
         raise WireError("message too short for header")
-    magic, version, msg_type = _HEADER.unpack_from(data, 0)
+    magic, version, msg_type, crc = _HEADER.unpack_from(data, 0)
     if magic != WIRE_MAGIC:
         raise WireError("bad magic %r (not a runtime message)" % (magic,))
     if version != WIRE_VERSION:
@@ -144,6 +162,8 @@ def decode_message(data):
                         % (version, WIRE_VERSION))
     if msg_type not in (MSG_TASK, MSG_RESULT, MSG_SHUTDOWN):
         raise WireError("unknown message type %d" % msg_type)
+    if zlib.crc32(data[_HEADER.size:]) & 0xFFFFFFFF != crc:
+        raise WireError("frame payload failed its checksum")
     return msg_type, _HEADER.size
 
 

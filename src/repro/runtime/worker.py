@@ -21,26 +21,32 @@ from repro.loader.image import Program
 from repro.runtime import wire
 
 
-def worker_main(conn, program_payload, fast_path):
+def worker_main(conn, program_payload, fast_path, max_frame_bytes=None):
     """Entry point for a pool worker (``multiprocessing.Process`` target).
 
     ``conn`` is the worker end of a duplex pipe; ``program_payload`` the
     :meth:`Program.to_dict` form of the image; ``fast_path`` the
-    interpreter-tier override (None follows ``REPRO_FAST_PATH``).
+    interpreter-tier override (None follows ``REPRO_FAST_PATH``);
+    ``max_frame_bytes`` bounds how large a frame the worker will read —
+    an oversized or checksum-failing frame ends the process, which the
+    parent observes as a worker crash (the safe interpretation of a
+    corrupt stream).
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # non-main thread (tests) or odd platform
         pass
+    if max_frame_bytes is None:
+        max_frame_bytes = wire.DEFAULT_MAX_FRAME_BYTES
     program = Program.from_dict(program_payload)
     context = program.make_context(fast_path=fast_path)
     try:
         while True:
             try:
-                data = conn.recv_bytes()
+                data = conn.recv_bytes(max_frame_bytes)
             except (EOFError, OSError):
-                break  # engine went away; nothing to clean up
-            msg_type, pos = wire.decode_message(data)
+                break  # engine went away, or sent an oversized frame
+            msg_type, pos = wire.decode_message(data, max_frame_bytes)
             if msg_type == wire.MSG_SHUTDOWN:
                 break
             if msg_type != wire.MSG_TASK:

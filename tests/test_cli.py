@@ -165,6 +165,89 @@ def test_memoize_command(tmp_path, capsys):
     assert "final scaling" in capsys.readouterr().out
 
 
+def test_run_json_output(c_file, capsys):
+    import json
+    assert main(["run", c_file, "--json", "--reg", "eax",
+                 "--global", "total"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["backend"] == "sim"
+    assert payload["halted"] is True
+    assert payload["registers"]["eax"] == 820
+    assert payload["globals"]["total"] == 820
+
+
+def test_run_real_backend_json_includes_runtime_stats(tmp_path, capsys):
+    import json
+    path = tmp_path / "loop.c"
+    path.write_text("""
+        int total;
+        int main() {
+            int i;
+            for (i = 1; i <= 900; i++) total += i;
+            return total;
+        }
+    """)
+    assert main(["run", str(path), "--backend", "real", "--workers", "2",
+                 "--json", "--global", "total"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["backend"] == "real"
+    assert payload["halted"] is True
+    assert payload["globals"]["total"] == 405450
+    runtime = payload["runtime"]
+    for key in ("tasks_dispatched", "breaker_trips", "workers_quarantined",
+                "pool_degradations", "faults_injected",
+                "checkpoints_written", "frames_rejected"):
+        assert key in runtime
+    assert payload["stats"]["supersteps"] >= 0
+
+
+def test_run_checkpoint_and_resume_sim(c_file, tmp_path, capsys):
+    state_a = tmp_path / "full.bin"
+    state_b = tmp_path / "resumed.bin"
+    ckdir = str(tmp_path / "ck")
+    assert main(["run", c_file, "--checkpoint-dir", ckdir,
+                 "--checkpoint-every", "200",
+                 "--state-out", str(state_a)]) == 0
+    out = capsys.readouterr().out
+    assert "checkpoints:" in out
+    from repro.core.checkpoint import checkpoint_paths
+    assert checkpoint_paths(ckdir)
+    # Resume from the newest snapshot: the remaining tail replays to
+    # the identical final state.
+    assert main(["run", c_file, "--checkpoint-dir", ckdir, "--resume",
+                 "--state-out", str(state_b)]) == 0
+    assert "resumed from checkpoint" in capsys.readouterr().out
+    assert state_a.read_bytes() == state_b.read_bytes()
+
+
+def test_resume_without_checkpoint_dir_rejected(c_file):
+    import pytest
+    with pytest.raises(SystemExit):
+        main(["run", c_file, "--resume"])
+
+
+def test_chaos_command(capsys):
+    assert main(["chaos", "collatz", "--size", "250", "--seed", "11",
+                 "--kills", "1", "--timeouts", "1", "--corrupts", "1",
+                 "--slows", "0", "--drops", "0", "--workers", "2",
+                 "--slow-ms", "10"]) == 0
+    text = capsys.readouterr().out
+    assert "IDENTICAL" in text
+    assert "supervision:" in text
+
+
+def test_chaos_command_json(capsys):
+    import json
+    assert main(["chaos", "collatz", "--size", "250", "--seed", "42",
+                 "--kills", "1", "--timeouts", "0", "--corrupts", "1",
+                 "--slows", "0", "--drops", "1", "--workers", "2",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["identical"] is True
+    assert payload["plan"]["injected"].get("kill") == 1
+    assert payload["runtime"]["faults_injected"] >= 2
+
+
 def test_program_image_roundtrip(c_file, tmp_path):
     from repro.cli import load_program
     from repro.loader.image import Program

@@ -70,6 +70,34 @@ class TestSerialization:
         with pytest.raises(EngineError):
             deserialize_cache(bytes(blob))
 
+    def test_bit_rotted_entry_quarantined(self):
+        """Bit rot inside one entry's arrays is caught by the per-entry
+        CRC and quarantined — the rest of the blob still loads."""
+        import struct
+        cache = TrajectoryCache()
+        for seed in range(4):
+            cache.insert(make_entry(rip=0x40 + 8 * seed, seed=seed))
+        blob = bytearray(serialize_cache(cache))
+        header = struct.calcsize("<4sHI")
+        entry_header = struct.calcsize("<IQIBII")
+        # Flip a byte inside the first entry's index array: the framing
+        # (declared lengths) survives, so only that entry is damaged.
+        blob[header + entry_header + 2] ^= 0xFF
+        loaded = deserialize_cache(bytes(blob))
+        assert len(loaded) == 3
+        assert loaded.n_quarantined == 1
+        survivors = {e.rip for e in loaded.entries()}
+        assert len(survivors) == 3
+
+    def test_every_entry_rotted_loads_empty(self):
+        cache = TrajectoryCache()
+        cache.insert(make_entry())
+        blob = bytearray(serialize_cache(cache))
+        blob[-1] ^= 0xFF  # damage the entry's trailing CRC itself
+        loaded = deserialize_cache(bytes(blob))
+        assert len(loaded) == 0
+        assert loaded.n_quarantined == 1
+
     def test_capacity_applies_on_load(self, tmp_path):
         cache = TrajectoryCache()
         for seed in range(20):

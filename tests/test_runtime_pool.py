@@ -176,14 +176,39 @@ class TestCrashRecovery:
             assert pool.worker_pids()[0] != victim
             assert pool.stats.workers_respawned == 1
 
-    def test_respawn_limit_raises(self, loop_program):
+    def test_respawn_limit_retires_slot(self, loop_program):
+        """An exhausted respawn budget shrinks the pool instead of
+        raising: the slot is retired, submit reports backpressure, and
+        the supervisor denies speculation once below the worker floor."""
         config = RuntimeConfig(n_workers=1, respawn_limit=0)
         with WorkerPool(loop_program, config) as pool:
             os.kill(pool.worker_pids()[0], signal.SIGKILL)
-            with pytest.raises(PoolError, match="respawn"):
-                deadline = time.monotonic() + 10.0
-                while time.monotonic() < deadline:
-                    pool.poll(timeout=0.05)
+            deadline = time.monotonic() + 10.0
+            while pool.active_workers and time.monotonic() < deadline:
+                pool.poll(timeout=0.05)
+            assert pool.active_workers == 0
+            assert pool.stats.workers_retired == 1
+            assert pool.stats.workers_respawned == 0
+            rip, start = boundary_state(loop_program)
+            assert pool.submit(rip, 1, 1000, start) is None
+            assert pool.stats.dispatch_backpressure == 1
+            assert not pool.speculation_allowed()
+            assert pool.stats.pool_degradations == 1
+
+    def test_oversized_frame_is_a_worker_crash(self, loop_program):
+        """A frame larger than max_frame_bytes must not be allocated or
+        parsed; the offending worker is treated as crashed."""
+        rip, start = boundary_state(loop_program)
+        config = RuntimeConfig(n_workers=1, max_frame_bytes=64,
+                               task_timeout_seconds=None)
+        with WorkerPool(loop_program, config) as pool:
+            task = pool.submit(rip, 1, 10_000, start, meta="big")
+            assert task is None or task.meta == "big"
+            if task is not None:
+                outcomes = poll_until(pool, 1)
+                assert len(outcomes) == 1
+                assert outcomes[0].status == TASK_CRASHED
+                assert pool.stats.tasks_crashed == 1
 
 
 class TestTimeout:

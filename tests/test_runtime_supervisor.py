@@ -1,0 +1,212 @@
+"""Supervisor: circuit breaking, backoff, readmission, degradation.
+
+All timing uses an injected fake clock, so the breaker/backoff ladder
+is tested exactly, without sleeping.
+"""
+
+import pytest
+
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.stats import RuntimeStats
+from repro.runtime.supervisor import (
+    QUARANTINE,
+    RESPAWN,
+    RETIRE,
+    Supervisor,
+    WorkerHealth,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_supervisor(**overrides):
+    config = RuntimeConfig(**overrides)
+    clock = FakeClock()
+    return Supervisor(config, RuntimeStats(), clock=clock), clock
+
+
+class TestBreaker:
+    def test_respawn_until_threshold_then_quarantine(self):
+        sup, __ = make_supervisor(breaker_threshold=3)
+        assert sup.note_failure(0, "crash") == RESPAWN
+        assert sup.note_failure(0, "crash") == RESPAWN
+        assert sup.note_failure(0, "crash") == QUARANTINE
+        assert sup.stats.breaker_trips == 1
+        assert sup.stats.workers_quarantined == 1
+        assert sup.health(0).quarantined
+
+    def test_success_closes_breaker_and_resets_streak(self):
+        sup, __ = make_supervisor(breaker_threshold=3)
+        sup.note_failure(0, "crash")
+        sup.note_failure(0, "timeout")
+        sup.note_success(0, duration=0.1)
+        record = sup.health(0)
+        assert record.consecutive_failures == 0
+        assert record.crashes == 1 and record.timeouts == 1
+        # The streak restarts from zero: two more failures still respawn.
+        assert sup.note_failure(0, "crash") == RESPAWN
+        assert sup.note_failure(0, "crash") == RESPAWN
+        assert sup.note_failure(0, "crash") == QUARANTINE
+
+    def test_latency_ewma_tracks_durations(self):
+        sup, __ = make_supervisor()
+        sup.note_success(0, duration=1.0)
+        assert sup.health(0).latency_ewma == 1.0
+        sup.note_success(0, duration=2.0)
+        assert sup.health(0).latency_ewma == pytest.approx(1.3)
+
+    def test_failures_isolated_per_slot(self):
+        sup, __ = make_supervisor(breaker_threshold=2)
+        sup.note_failure(0, "crash")
+        assert sup.note_failure(1, "crash") == RESPAWN
+        assert not sup.health(1).quarantined
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        sup, clock = make_supervisor(
+            breaker_threshold=1, quarantine_backoff_seconds=1.0,
+            quarantine_backoff_max_seconds=3.0, respawn_limit=100)
+        waits = []
+        for __ in range(4):
+            assert sup.note_failure(0, "crash") == QUARANTINE
+            waits.append(sup.health(0).quarantined_until - clock.now)
+            clock.advance(waits[-1])
+            assert sup.authorize_readmission(0)
+        assert waits == [1.0, 2.0, 3.0, 3.0]  # 1, 2, capped, capped
+
+    def test_not_due_before_backoff_expires(self):
+        sup, clock = make_supervisor(breaker_threshold=1,
+                                     quarantine_backoff_seconds=5.0)
+        sup.note_failure(0, "crash")
+        assert sup.due_readmissions() == []
+        clock.advance(4.99)
+        assert sup.due_readmissions() == []
+        clock.advance(0.02)
+        assert sup.due_readmissions() == [0]
+
+
+class TestReadmission:
+    def test_half_open_one_failure_retrips(self):
+        sup, clock = make_supervisor(breaker_threshold=3,
+                                     quarantine_backoff_seconds=1.0,
+                                     respawn_limit=100)
+        for __ in range(3):
+            sup.note_failure(0, "crash")
+        clock.advance(1.1)
+        assert sup.authorize_readmission(0)
+        assert sup.stats.workers_readmitted == 1
+        assert sup.stats.workers_quarantined == 0
+        # Half-open: a single further failure trips the breaker again,
+        # and the backoff doubles (trips carried over).
+        assert sup.note_failure(0, "crash") == QUARANTINE
+        assert sup.health(0).quarantined_until - clock.now \
+            == pytest.approx(2.0)
+
+    def test_success_after_readmission_fully_closes(self):
+        sup, clock = make_supervisor(breaker_threshold=3,
+                                     quarantine_backoff_seconds=1.0,
+                                     respawn_limit=100)
+        for __ in range(3):
+            sup.note_failure(0, "crash")
+        clock.advance(1.1)
+        sup.authorize_readmission(0)
+        sup.note_success(0, duration=0.1)
+        assert sup.health(0).trips == 0
+        assert sup.note_failure(0, "crash") == RESPAWN
+
+    def test_readmission_spends_respawn_budget(self):
+        sup, clock = make_supervisor(breaker_threshold=1,
+                                     quarantine_backoff_seconds=1.0,
+                                     respawn_limit=1)
+        sup.note_failure(0, "crash")
+        clock.advance(1.1)
+        assert sup.authorize_readmission(0)  # spends the whole budget
+        sup.note_failure(0, "crash")
+        clock.advance(2.1)
+        assert not sup.authorize_readmission(0)  # budget gone: retired
+        assert sup.health(0).retired
+        assert sup.stats.workers_retired == 1
+
+
+class TestRetire:
+    def test_budget_exhaustion_retires(self):
+        sup, __ = make_supervisor(breaker_threshold=10, respawn_limit=2)
+        assert sup.note_failure(0, "crash") == RESPAWN
+        assert sup.note_failure(1, "crash") == RESPAWN
+        assert sup.note_failure(2, "crash") == RETIRE
+        assert sup.health(2).retired
+        assert sup.stats.workers_retired == 1
+
+    def test_retired_slot_never_readmitted(self):
+        sup, clock = make_supervisor(breaker_threshold=10, respawn_limit=0)
+        sup.note_failure(0, "crash")
+        clock.advance(100.0)
+        assert sup.due_readmissions() == []
+        assert not sup.authorize_readmission(0)
+
+
+class TestDegradation:
+    def test_below_floor_degrades(self):
+        sup, __ = make_supervisor(min_active_workers=2)
+        assert sup.speculation_allowed(2)
+        assert not sup.speculation_allowed(1)
+        assert sup.degraded
+        assert sup.stats.pool_degradations == 1
+        # Staying degraded does not double-count.
+        assert not sup.speculation_allowed(0)
+        assert sup.stats.pool_degradations == 1
+
+    def test_reenable_requires_capacity_and_cooldown(self):
+        sup, clock = make_supervisor(min_active_workers=2,
+                                     degrade_cooldown_seconds=5.0)
+        sup.speculation_allowed(1)  # degrade
+        # Capacity is back, but the cooldown holds speculation off.
+        assert not sup.speculation_allowed(2)
+        clock.advance(4.9)
+        assert not sup.speculation_allowed(2)
+        clock.advance(0.2)
+        assert sup.speculation_allowed(2)
+        assert not sup.degraded
+        assert sup.stats.speculation_reenabled == 1
+
+    def test_flap_during_cooldown_restarts_it(self):
+        sup, clock = make_supervisor(min_active_workers=2,
+                                     degrade_cooldown_seconds=5.0)
+        sup.speculation_allowed(1)
+        sup.speculation_allowed(2)  # starts the cooldown
+        clock.advance(3.0)
+        sup.speculation_allowed(1)  # flapped back below the floor
+        clock.advance(3.0)
+        # 6s since the first recovery, but the flap reset the clock.
+        assert not sup.speculation_allowed(2)
+        clock.advance(5.1)
+        assert sup.speculation_allowed(2)
+
+
+class TestHealthSnapshot:
+    def test_snapshot_round_trip(self):
+        sup, __ = make_supervisor()
+        sup.note_success(1, 0.5)
+        sup.note_failure(0, "crash")
+        snapshot = sup.health_snapshot()
+        assert [row["slot"] for row in snapshot] == [0, 1]
+        assert snapshot[0]["crashes"] == 1
+        assert snapshot[1]["successes"] == 1
+
+    def test_worker_health_repr_states(self):
+        record = WorkerHealth(3)
+        assert "active" in repr(record)
+        record.quarantined_until = 5.0
+        assert "quarantined" in repr(record)
+        record.retired = True
+        assert "retired" in repr(record)

@@ -173,17 +173,38 @@ class TestHeaderValidation:
 
     def test_version_mismatch_rejected(self):
         import struct
-        bad = struct.pack("<4sHB", wire.WIRE_MAGIC, wire.WIRE_VERSION + 1,
-                          wire.MSG_TASK)
+        bad = struct.pack("<4sHBI", wire.WIRE_MAGIC, wire.WIRE_VERSION + 1,
+                          wire.MSG_TASK, 0)
         with pytest.raises(wire.WireError, match="version"):
             wire.decode_message(bad)
 
     def test_unknown_type_rejected(self):
         import struct
-        bad = struct.pack("<4sHB", wire.WIRE_MAGIC, wire.WIRE_VERSION, 99)
+        bad = struct.pack("<4sHBI", wire.WIRE_MAGIC, wire.WIRE_VERSION, 99, 0)
         with pytest.raises(wire.WireError, match="type"):
             wire.decode_message(bad)
 
     def test_short_message_rejected(self):
         with pytest.raises(wire.WireError):
             wire.decode_message(b"ASC")
+
+    def test_payload_bit_flip_rejected(self):
+        """Any single corrupted byte fails the header checksum — this is
+        the property fault injection's 'corrupt' kind relies on."""
+        blob = wire.encode_task(1, 2, 3, 4, b"\xaa" * 64)
+        for pos in range(len(blob)):
+            mutated = bytearray(blob)
+            mutated[pos] ^= 0xFF
+            with pytest.raises(wire.WireError):
+                wire.decode_message(bytes(mutated))
+
+    def test_truncation_rejected(self):
+        blob = wire.encode_result(3, make_result(instructions=5))
+        for cut in range(1, len(blob)):
+            with pytest.raises(wire.WireError):
+                wire.decode_message(blob[:cut])
+
+    def test_oversized_frame_rejected(self):
+        blob = wire.encode_task(1, 2, 3, 4, b"\x00" * 256)
+        with pytest.raises(wire.WireError, match="exceeds"):
+            wire.decode_message(blob, max_frame_bytes=64)
