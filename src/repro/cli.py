@@ -49,6 +49,31 @@ def _engine_config(args):
     return EngineConfig(**overrides)
 
 
+def _verify_config(args):
+    """Build a VerifyConfig from --verify-rate / --strict-verify.
+
+    Returns ``None`` when neither flag was given, which lets the engine
+    fall back to ``REPRO_VERIFY``. An explicit ``--verify-rate 0``
+    returns a disabled config so it overrides the environment.
+    """
+    from repro.verify import VerifyConfig
+    if getattr(args, "strict_verify", False):
+        return VerifyConfig(strict=True)
+    rate = getattr(args, "verify_rate", None)
+    if rate is not None:
+        return VerifyConfig(rate=rate)
+    return None
+
+
+def _verify_line(audit):
+    return ("verify: %d sampled, %d clean, %d divergent, %d lost, "
+            "%d rollbacks, %d groups quarantined (%d now), %d readmitted"
+            % (audit["sampled"], audit["clean"], audit["divergent"],
+               audit["lost"], audit["rollbacks"],
+               audit["groups_quarantined"], audit["quarantined_now"],
+               audit["groups_readmitted"]))
+
+
 def _checkpoint_setup(args, program, subdir=None):
     """Build (checkpointer, resume_from) from --checkpoint-* flags."""
     directory = getattr(args, "checkpoint_dir", None)
@@ -117,7 +142,8 @@ def _run_real_backend(program, args):
     engine = RealParallelEngine(program, config=_engine_config(args),
                                 runtime_config=runtime_config,
                                 checkpointer=checkpointer,
-                                resume_from=resume_from)
+                                resume_from=resume_from,
+                                verify=_verify_config(args))
     result = engine.run()
     stats, runtime = result.stats, result.runtime
     payload = {
@@ -130,6 +156,8 @@ def _run_real_backend(program, args):
         "n_workers": result.n_workers,
         "stats": stats.as_dict(),
         "runtime": runtime.as_dict(),
+        "cache": result.cache.stats_dict(),
+        "audit": result.audit,
     }
     if not args.json:
         print("%s after %d instructions in %.3fs wall "
@@ -145,6 +173,8 @@ def _run_real_backend(program, args):
                  runtime.tasks_crashed, runtime.tasks_timed_out,
                  runtime.bytes_sent, runtime.bytes_received))
         print(_supervision_line(runtime))
+        if result.audit is not None:
+            print(_verify_line(result.audit))
         if engine.resumed_instructions:
             print("resumed from checkpoint at %d instructions"
                   % engine.resumed_instructions)
@@ -251,17 +281,22 @@ def _scale_real_backend(program, args):
     from repro.core.recognizer import Recognizer
     from repro.runtime import RealParallelEngine, RuntimeConfig
 
+    json_out = getattr(args, "json", False)
     config = _engine_config(args)
     recognized = Recognizer(config).find(program)
-    print("recognized IP 0x%x (superstep ~%.0f instructions, stride %d)"
-          % (recognized.ip, recognized.superstep_instructions,
-             recognized.stride))
+    if not json_out:
+        print("recognized IP 0x%x (superstep ~%.0f instructions, stride %d)"
+              % (recognized.ip, recognized.superstep_instructions,
+                 recognized.stride))
     t0 = time.perf_counter()
     machine = program.make_machine()
     machine.run(max_instructions=500_000_000)
     seq_wall = time.perf_counter() - t0
     expected = bytes(machine.state.buf)
-    print("sequential: %.3fs wall" % seq_wall)
+    if not json_out:
+        print("sequential: %.3fs wall" % seq_wall)
+    all_identical = True
+    points = []
     for n_workers in (int(w) for w in args.workers.split(",")):
         runtime_config = RuntimeConfig(
             n_workers=n_workers, superstep_scale=args.superstep_scale)
@@ -270,21 +305,44 @@ def _scale_real_backend(program, args):
         result = RealParallelEngine(
             program, config=config, runtime_config=runtime_config,
             recognized=recognized, checkpointer=checkpointer,
-            resume_from=resume_from).run()
+            resume_from=resume_from, verify=_verify_config(args)).run()
         identical = result.final_state == expected
-        print("%3d workers: %.3fs wall, %.2fx, %d hits, %d shipped, "
-              "identical=%s"
-              % (n_workers, result.wall_seconds,
-                 result.speedup_vs(seq_wall), result.stats.hits,
-                 result.runtime.entries_shipped, identical))
-        if resume_from is not None:
-            # A resumed run replays only the tail; its final state must
-            # still match the uninterrupted sequential reference.
-            print("    (resumed from %d instructions)"
-                  % resume_from.instruction_count)
-        if not identical:
-            return 1
-    return 0
+        all_identical = all_identical and identical
+        points.append({
+            "workers": n_workers,
+            "wall_seconds": result.wall_seconds,
+            "speedup": result.speedup_vs(seq_wall),
+            "identical": identical,
+            "resumed_instructions": (resume_from.instruction_count
+                                     if resume_from is not None else 0),
+            "stats": result.stats.as_dict(),
+            "runtime": result.runtime.as_dict(),
+            "cache": result.cache.stats_dict(),
+            "audit": result.audit,
+        })
+        if not json_out:
+            print("%3d workers: %.3fs wall, %.2fx, %d hits, %d shipped, "
+                  "identical=%s"
+                  % (n_workers, result.wall_seconds,
+                     result.speedup_vs(seq_wall), result.stats.hits,
+                     result.runtime.entries_shipped, identical))
+            if resume_from is not None:
+                # A resumed run replays only the tail; its final state
+                # must still match the uninterrupted sequential
+                # reference.
+                print("    (resumed from %d instructions)"
+                      % resume_from.instruction_count)
+            if result.audit is not None:
+                print("    " + _verify_line(result.audit))
+    if json_out:
+        print(json.dumps({
+            "program": program.name,
+            "backend": "real",
+            "sequential_wall_seconds": seq_wall,
+            "identical": all_identical,
+            "points": points,
+        }, indent=2, sort_keys=True))
+    return 0 if all_identical else 1
 
 
 def cmd_scale(args):
@@ -295,12 +353,14 @@ def cmd_scale(args):
     program = load_program(args.file)
     if args.backend == "real":
         return _scale_real_backend(program, args)
+    json_out = getattr(args, "json", False)
     workload = Workload(program.name, program, config=_engine_config(args))
     context = ExperimentContext(workload)
     recognized = context.recognized
-    print("recognized IP 0x%x (superstep ~%.0f instructions, stride %d)"
-          % (recognized.ip, recognized.superstep_instructions,
-             recognized.stride))
+    if not json_out:
+        print("recognized IP 0x%x (superstep ~%.0f instructions, stride %d)"
+              % (recognized.ip, recognized.superstep_instructions,
+                 recognized.stride))
     cores = [int(c) for c in args.cores.split(",")]
     series = {"ideal": ideal_series(cores)}
     if args.oracle:
@@ -308,8 +368,28 @@ def cmd_scale(args):
             context, cores, platform=args.platform, oracle=True)
     series["lasc"] = scaling_sweep(context, cores, platform=args.platform,
                                    collect_prediction_stats=False)
-    print(format_series(series, title="%s on %s" % (program.name,
-                                                    args.platform)))
+    if json_out:
+        payload = {
+            "program": program.name,
+            "backend": "sim",
+            "platform": args.platform,
+            "series": {},
+        }
+        for name, pts in series.items():
+            payload["series"][name] = [{
+                "cores": p.n_cores,
+                "scaling": p.scaling,
+                "stats": (p.result.stats.as_dict()
+                          if p.result is not None else None),
+                "cache": (p.result.cache.stats_dict()
+                          if p.result is not None else None),
+                "audit": (getattr(p.result, "audit", None)
+                          if p.result is not None else None),
+            } for p in pts]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_series(series, title="%s on %s" % (program.name,
+                                                        args.platform)))
     return 0
 
 
@@ -406,6 +486,75 @@ def cmd_chaos(args):
     return 0 if identical and result.halted else 1
 
 
+def cmd_audit(args):
+    """Run a workload with *every* cache splice shadow-verified (strict
+    mode) and the final state compared against a plain sequential run.
+    Exit 0 only if no audit diverged and the state is byte-identical —
+    the machine-checkable form of the paper's correctness argument."""
+    from repro.runtime import FaultPlan, RealParallelEngine, RuntimeConfig
+    from repro.runtime.faults import resolve_fault_plan
+    from repro.verify import VerifyConfig
+    from repro.verify.incidents import format_incident
+
+    program, config = _chaos_workload(args)
+    if args.fault_plan:
+        plan = resolve_fault_plan(args.fault_plan)
+    elif args.taints:
+        plan = FaultPlan(seed=args.seed, taints=args.taints)
+    else:
+        plan = None
+    sequential = program.make_machine()
+    sequential.run(max_instructions=args.max_instructions)
+    expected = bytes(sequential.state.buf)
+
+    # The wait bias makes every on-trajectory speculation a hit, so the
+    # audit sweep covers the same splices on every run of a given seed.
+    runtime_config = RuntimeConfig(
+        n_workers=args.workers,
+        max_instructions=args.max_instructions,
+        inflight_wait_bias=1e9,
+        fault_plan=plan)
+    engine = RealParallelEngine(
+        program, config=config, runtime_config=runtime_config,
+        verify=VerifyConfig(strict=True, seed=args.seed))
+    result = engine.run()
+    audit = result.audit or {}
+    incidents = audit.get("incidents", [])
+    identical = result.final_state == expected
+    clean = bool(identical and result.halted and not incidents)
+
+    payload = {
+        "program": program.name,
+        "seed": args.seed,
+        "clean": clean,
+        "identical": identical,
+        "halted": result.halted,
+        "total_instructions": result.total_instructions,
+        "wall_seconds": result.wall_seconds,
+        "plan": plan.as_dict() if plan is not None else None,
+        "audit": audit,
+        "stats": result.stats.as_dict(),
+        "runtime": result.runtime.as_dict(),
+        "cache": result.cache.stats_dict(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print("audit %s: %d splices verified" % (program.name,
+                                                 audit.get("sampled", 0)))
+        if audit:
+            print(_verify_line(audit))
+        for incident in incidents:
+            print("  " + format_incident(incident))
+        print("%s after %d instructions; final state %s sequential "
+              "reference"
+              % ("halted" if result.halted else "limit",
+                 result.total_instructions,
+                 "IDENTICAL to" if identical else "DIVERGES from"))
+        print("audit verdict: %s" % ("CLEAN" if clean else "DIVERGENT"))
+    return 0 if clean else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -423,6 +572,17 @@ def build_parser():
     p = sub.add_parser("disasm", help="disassemble a program")
     p.add_argument("file")
     p.set_defaults(func=cmd_disasm)
+
+    def add_verify_flags(p):
+        p.add_argument("--verify-rate", dest="verify_rate", type=float,
+                       metavar="RATE",
+                       help="shadow-audit this fraction of cache splices "
+                            "on the reference interpreter (0..1; real "
+                            "backend; overrides REPRO_VERIFY)")
+        p.add_argument("--strict-verify", dest="strict_verify",
+                       action="store_true",
+                       help="audit every splice synchronously and "
+                            "quarantine divergent groups for good")
 
     def add_checkpoint_flags(p):
         p.add_argument("--checkpoint-dir", dest="checkpoint_dir",
@@ -455,6 +615,7 @@ def build_parser():
     p.add_argument("--fault-plan", dest="fault_plan", metavar="SPEC",
                    help="inject faults, e.g. 'seed=42,kill=2,corrupt=1' "
                         "(real backend)")
+    add_verify_flags(p)
     add_checkpoint_flags(p)
     p.set_defaults(func=cmd_run)
 
@@ -476,6 +637,10 @@ def build_parser():
     p.add_argument("--superstep-scale", type=int, default=1,
                    dest="superstep_scale",
                    help="multiply the recognized superstep (real backend)")
+    p.add_argument("--json", action="store_true",
+                   help="emit a JSON report (per-point stats, cache, "
+                        "and audit sections)")
+    add_verify_flags(p)
     add_checkpoint_flags(p)
     p.set_defaults(func=cmd_scale)
 
@@ -521,6 +686,32 @@ def build_parser():
     p.add_argument("--hints", action="store_true")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "audit",
+        help="shadow-verify every cache splice against the reference "
+             "interpreter; nonzero exit on any semantic divergence")
+    p.add_argument("target",
+                   help="builtin workload (%s) or a program file"
+                        % "/".join(_CHAOS_BUILTINS))
+    p.add_argument("--size", type=int,
+                   help="builtin workload size (collatz count / ising "
+                        "nodes / mm2 n)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="seeds the audit sampler and any --taints plan")
+    p.add_argument("--taints", type=int, default=0,
+                   help="inject N semantically-corrupt cache entries; "
+                        "the audit must catch every one (exit nonzero)")
+    p.add_argument("--fault-plan", dest="fault_plan", metavar="SPEC",
+                   help="full fault-plan spec, e.g. 'seed=7,taint=3'; "
+                        "overrides --taints")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p.add_argument("--window", type=int, help="recognizer window")
+    p.add_argument("--min-superstep", type=int, dest="min_superstep")
+    p.add_argument("--hints", action="store_true")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_audit)
     return parser
 
 

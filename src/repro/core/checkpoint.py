@@ -147,6 +147,24 @@ def decode_checkpoint(data):
                       sections.get(SECTION_CACHE))
 
 
+# -- in-memory snapshots -----------------------------------------------------
+
+def snapshot_state(state, instruction_count, meta=None):
+    """Atomic in-memory snapshot of machine state + progress.
+
+    Same CRC-sectioned blob a durable checkpoint uses, minus the file:
+    the verify subsystem keeps one of these per audited splice so a
+    divergent entry can be rolled back with the exact machinery (and
+    the same corruption detection) a crash restore gets.
+    """
+    return encode_checkpoint(state, instruction_count, meta=meta)
+
+
+def restore_state(blob):
+    """Decode an in-memory snapshot; returns a :class:`Checkpoint`."""
+    return decode_checkpoint(blob)
+
+
 # -- files -------------------------------------------------------------------
 
 def write_checkpoint(path, state, instruction_count, cache=None, meta=None):

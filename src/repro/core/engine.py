@@ -35,6 +35,8 @@ from repro.core.trajectory_cache import CacheEntry, TrajectoryCache
 from repro.errors import EngineError
 from repro.machine.depvec import DepVector
 from repro.machine.executor import STOP_BREAKPOINT
+from repro.verify.auditor import SpliceAuditor
+from repro.verify.config import resolve_verify
 
 import numpy as np
 
@@ -112,7 +114,8 @@ class ParallelEngine:
 
     def __init__(self, program, platform, config=None, oracle=False,
                  recognized=None, record=None, spec_memo=None,
-                 collect_prediction_stats=None, initial_cache=None):
+                 collect_prediction_stats=None, initial_cache=None,
+                 verify=None):
         if not isinstance(platform, Platform):
             raise EngineError("platform must be a Platform")
         self.program = program
@@ -125,6 +128,7 @@ class ParallelEngine:
         # Entries carried over from a previous invocation (§6's cache
         # reuse); preloaded with ready_time 0.
         self.initial_cache = initial_cache
+        self.verify = resolve_verify(verify)
         if collect_prediction_stats is None:
             collect_prediction_stats = not oracle
         self.collect_prediction_stats = collect_prediction_stats
@@ -178,6 +182,9 @@ class ParallelEngine:
 
         main = program.make_machine(fast_path=config.fast_path)
         context = main.context  # shared decode cache with speculation
+        auditor = None
+        if self.verify is not None and self.verify.enabled:
+            auditor = SpliceAuditor(self.verify, cache, context=context)
         total = record.total_instructions
         sequential_seconds = cm.exec_seconds(total, dep_tracking=False)
         guard = total * 2 + 100_000
@@ -325,6 +332,11 @@ class ParallelEngine:
                 T += cm.response_seconds(entry.end_bits) + cm.apply_seconds()
                 entry.apply(buf)
                 stats.instructions_fast_forwarded += entry.length
+                if auditor is not None and auditor.verify_splice(
+                        entry, buf, snapshot, stats):
+                    # Refuted and rolled back: the group is quarantined,
+                    # so the superstep now replays sequentially.
+                    break
                 progress = (stats.instructions_executed
                             + stats.instructions_fast_forwarded)
                 if progress > guard:
@@ -341,11 +353,14 @@ class ParallelEngine:
                 "executed+fast-forwarded=%d does not equal reference "
                 "total=%d; cache entries are inconsistent"
                 % (progress, total))
-        return ParallelResult(
+        result = ParallelResult(
             program.name, platform.n_cores, self.oracle, self.recognized,
             sequential_seconds, makespan, total, stats, pstats, cache,
             getattr(allocator, "shifts", 0),
             getattr(allocator, "rebuilds", 0))
+        result.audit = auditor.report() if auditor is not None else None
+        result.final_state = bytes(main.state.buf)
+        return result
 
     def _dispatch(self, T, allocator, tracker, cache, stats, cm,
                   worker_heap, covered, mask, snapshot, context, rip,
@@ -450,12 +465,13 @@ class MemoizingEngine:
     """
 
     def __init__(self, program, platform=None, config=None, recognized=None,
-                 initial_cache=None):
+                 initial_cache=None, verify=None):
         self.program = program
         self.platform = platform or laptop1()
         self.config = config or EngineConfig()
         self.recognized = recognized
         self.initial_cache = initial_cache
+        self.verify = resolve_verify(verify)
 
     def run(self, timeline_samples=64, max_instructions=500_000_000):
         program = self.program
@@ -474,6 +490,10 @@ class MemoizingEngine:
                 cache.insert(entry.with_ready_time(0.0))
         stats = RunStats()
         main = program.make_machine(fast_path=config.fast_path)
+        auditor = None
+        if self.verify is not None and self.verify.enabled:
+            auditor = SpliceAuditor(self.verify, cache,
+                                    context=main.context)
         dep = DepVector(program.layout.size)
         open_start = bytes(main.state.buf)
         open_span = 0
@@ -516,17 +536,26 @@ class MemoizingEngine:
             probe_bits = 256
             stats.query_bits_total += probe_bits
             T += cm.memo_query_seconds(probe_bits)
+            pre_splice = (bytes(main.state.buf) if auditor is not None
+                          else None)
             entry = cache.lookup(rip, main.state.buf)
             if entry is not None:
                 stats.hits += 1
                 T += cm.apply_seconds()
                 entry.apply(main.state.buf)
                 stats.instructions_fast_forwarded += entry.length
-                # The open entry now spans a jump; restart it.
-                open_start = bytes(main.state.buf)
-                open_span = 0
-                open_occurrences = 0
-                dep.reset()
+                if auditor is not None and auditor.verify_splice(
+                        entry, main.state.buf, pre_splice, stats):
+                    # Refuted and rolled back (the auditor already did
+                    # the miss accounting); the open segment's tracking
+                    # is still coherent — keep accumulating it.
+                    pass
+                else:
+                    # The open entry now spans a jump; restart it.
+                    open_start = bytes(main.state.buf)
+                    open_span = 0
+                    open_occurrences = 0
+                    dep.reset()
             else:
                 stats.misses += 1
 
@@ -549,5 +578,8 @@ class MemoizingEngine:
             step = len(timeline) / timeline_samples
             timeline = [timeline[int(i * step)]
                         for i in range(timeline_samples)] + [timeline[-1]]
-        return MemoResult(program.name, recognized, sequential_seconds,
-                          makespan, progress, stats, timeline, cache)
+        result = MemoResult(program.name, recognized, sequential_seconds,
+                            makespan, progress, stats, timeline, cache)
+        result.audit = auditor.report() if auditor is not None else None
+        result.final_state = bytes(main.state.buf)
+        return result

@@ -124,11 +124,18 @@ class TrajectoryCache:
         self.capacity_bytes = capacity_bytes
         self._groups = {}  # rip -> {indices key: _DepGroup}
         self._order = []  # insertion order for eviction: (rip, key, proj)
+        # Semantic quarantine (verify subsystem): (rip, indices key) ->
+        # clean audits still required before the group is re-admitted
+        # (None = never re-admit). A quarantined group is invisible to
+        # lookups but keeps its entries, so re-admission is instant.
+        self._quarantined = {}
         self.total_bytes = 0
         self.n_entries = 0
         self.n_inserted = 0
         self.n_evicted = 0
         self.n_quarantined = 0  # corrupt entries skipped during preload
+        self.n_groups_quarantined = 0  # semantic quarantines (cumulative)
+        self.n_groups_readmitted = 0  # quarantined groups re-admitted
 
     def insert(self, entry):
         """Add an entry; keeps multiple lengths per identical start."""
@@ -193,7 +200,9 @@ class TrajectoryCache:
         arr = np.frombuffer(buf, dtype=np.uint8)
         best = None
         late = False
-        for group in groups.values():
+        for key, group in groups.items():
+            if self._quarantined and (rip, key) in self._quarantined:
+                continue
             projection = arr[group.indices].tobytes()
             bucket = group.table.get(projection)
             if not bucket:
@@ -206,6 +215,68 @@ class TrajectoryCache:
                     best = entry
                 break
         return best, late
+
+    # -- semantic quarantine (verify subsystem) ------------------------------
+
+    @staticmethod
+    def group_key(entry):
+        """The ``(rip, dep-index-set)`` identity the auditor quarantines."""
+        return (entry.rip, entry.start_indices.tobytes())
+
+    def quarantine_group(self, rip, indices_key, readmit_after=None):
+        """Hide one dependency group from lookups.
+
+        ``readmit_after`` is the number of *clean* audits
+        (:meth:`note_clean_audit`) after which the group comes back;
+        ``None`` quarantines it for the rest of the run. Idempotent —
+        re-quarantining resets the decay counter.
+        """
+        key = (rip, indices_key)
+        if key not in self._quarantined:
+            self.n_groups_quarantined += 1
+        self._quarantined[key] = readmit_after
+
+    def is_quarantined(self, rip, indices_key):
+        return (rip, indices_key) in self._quarantined
+
+    @property
+    def quarantined_groups(self):
+        """Currently quarantined group count (gauge)."""
+        return len(self._quarantined)
+
+    def note_clean_audit(self):
+        """Decay every quarantine by one clean audit; re-admit at zero.
+
+        Returns the number of groups re-admitted by this decay step.
+        """
+        if not self._quarantined:
+            return 0
+        readmitted = []
+        for key, remaining in self._quarantined.items():
+            if remaining is None:
+                continue
+            remaining -= 1
+            if remaining <= 0:
+                readmitted.append(key)
+            else:
+                self._quarantined[key] = remaining
+        for key in readmitted:
+            del self._quarantined[key]
+        self.n_groups_readmitted += len(readmitted)
+        return len(readmitted)
+
+    def stats_dict(self):
+        """Uniform counter snapshot for ``--json`` reports."""
+        return {
+            "n_entries": self.n_entries,
+            "n_inserted": self.n_inserted,
+            "n_evicted": self.n_evicted,
+            "n_quarantined": self.n_quarantined,
+            "total_bytes": self.total_bytes,
+            "n_groups_quarantined": self.n_groups_quarantined,
+            "n_groups_readmitted": self.n_groups_readmitted,
+            "quarantined_groups": len(self._quarantined),
+        }
 
     def entries(self):
         """Iterate over every stored entry (persistence, diagnostics)."""

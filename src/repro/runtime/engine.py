@@ -57,6 +57,8 @@ from repro.machine.layout import STOP_BREAKPOINT
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.pool import TASK_FAILED, TASK_OK, WorkerPool
 from repro.runtime.stats import RuntimeStats
+from repro.verify.auditor import SpliceAuditor
+from repro.verify.config import resolve_verify
 
 
 class RealParallelResult:
@@ -123,7 +125,8 @@ class RealParallelEngine:
 
     def __init__(self, program, config=None, runtime_config=None,
                  recognized=None, pool=None, initial_cache=None,
-                 boundary_hook=None, checkpointer=None, resume_from=None):
+                 boundary_hook=None, checkpointer=None, resume_from=None,
+                 verify=None):
         self.program = program
         self.config = config or EngineConfig()
         self.runtime_config = runtime_config or RuntimeConfig()
@@ -133,6 +136,7 @@ class RealParallelEngine:
         self.boundary_hook = boundary_hook
         self.checkpointer = checkpointer
         self.resume_from = resume_from
+        self.verify = resolve_verify(verify)
         # Exposed for tests/CLI after run():
         self.machine = None
         self.resumed_instructions = 0
@@ -177,6 +181,12 @@ class RealParallelEngine:
             for entry in self.initial_cache.entries():
                 cache.insert(entry.with_ready_time(0.0))
 
+        auditor = None
+        if self.verify is not None and self.verify.enabled:
+            auditor = SpliceAuditor(self.verify, cache,
+                                    context_factory=program.make_context,
+                                    stats_sink=runtime)
+
         main = program.make_machine(fast_path=config.fast_path)
         self.machine = main
         guard = rtc.max_instructions
@@ -208,6 +218,10 @@ class RealParallelEngine:
         def checkpoint():
             if self.checkpointer is None:
                 return
+            if auditor is not None and auditor.has_pending():
+                # An unverified splice may still roll this state back;
+                # don't make it durable until the audits resolve.
+                return
             saved = self.checkpointer.maybe_save(
                 base_instructions + progress(), bytes(main.state.buf),
                 cache)
@@ -221,7 +235,8 @@ class RealParallelEngine:
             # degrade to a plain run — still a valid backend result.
             self._plain_run(main, stats, guard, checkpoint)
             wall = time.perf_counter() - t0
-            return self._result(main, None, wall, stats, runtime, cache)
+            return self._result(main, None, wall, stats, runtime, cache,
+                                auditor)
 
         rip = recognized.ip
         scale = max(1, int(rtc.superstep_scale))
@@ -256,6 +271,8 @@ class RealParallelEngine:
 
         def drain(timeout=0.0):
             for outcome in pool.poll(timeout):
+                if auditor is not None and auditor.ingest(outcome):
+                    continue  # an audit verdict, not a speculation
                 key = outcome.task.meta
                 inflight.pop(key, None)
                 if outcome.status == TASK_OK:
@@ -333,6 +350,16 @@ class RealParallelEngine:
                 if self.boundary_hook is not None:
                     self.boundary_hook(self, stats.supersteps)
                 drain(0.0)
+                if auditor is not None:
+                    rb = auditor.take_rollback()
+                    if rb is not None:
+                        # A shadow audit refuted an earlier splice:
+                        # restore its pre-splice snapshot and re-enter
+                        # the boundary. The offending group is already
+                        # quarantined, so the segment replays
+                        # sequentially from here.
+                        auditor.apply_rollback(rb, main, stats)
+                        continue
                 # The supervisor's verdict: a pool that fell below its
                 # worker floor degrades the run to sequential execution
                 # (no dispatch, no waiting) without touching the cache;
@@ -359,21 +386,39 @@ class RealParallelEngine:
                     stats.misses += 1
                     break
                 stats.hits += 1
+                pre_splice_count = base_instructions + progress()
                 entry.apply(buf)
                 if id(entry) in entry_ids:
                     used_entries.add(id(entry))
                 stats.instructions_fast_forwarded += entry.length
+                if auditor is not None and auditor.verify_splice(
+                        entry, buf, snapshot, stats, pool=pool,
+                        instruction_count=pre_splice_count):
+                    # Strict/inline audit refuted the splice; it is
+                    # already rolled back — replay sequentially.
+                    break
                 if progress() > guard:
                     raise EngineError("fast-forward exceeded instruction "
                                       "guard; cyclic cache entry?")
                 if main.halted:
                     break
 
+        # -- audit epilogue: no run ends on an unverified splice ---------
+        if auditor is not None:
+            auditor.flush(drain)
+            rb = auditor.take_rollback()
+            if rb is not None:
+                # A refuted splice survived to the end of the run: roll
+                # back to its pre-splice snapshot and replay the rest
+                # sequentially (the offending group is quarantined).
+                auditor.apply_rollback(rb, main, stats)
+                self._plain_run(main, stats, guard, checkpoint)
         wall = time.perf_counter() - t0
         drain(0.0)  # final sweep so the counters reflect stragglers
         runtime.entries_used = len(used_entries)
         runtime.tasks_wasted = runtime.entries_shipped - len(used_entries)
-        return self._result(main, recognized, wall, stats, runtime, cache)
+        return self._result(main, recognized, wall, stats, runtime, cache,
+                            auditor)
 
     def _plain_run(self, main, stats, guard, checkpoint):
         """Sequential execution to halt, chunked so checkpoints still
@@ -425,10 +470,13 @@ class RealParallelEngine:
         runtime.inflight_wait_seconds += time.perf_counter() - t_wait
         return cache.lookup(rip, buf)
 
-    def _result(self, main, recognized, wall, stats, runtime, cache):
-        return RealParallelResult(
+    def _result(self, main, recognized, wall, stats, runtime, cache,
+                auditor=None):
+        result = RealParallelResult(
             self.program.name, self.runtime_config.n_workers
             if self.pool is None else self.pool.n_workers,
             recognized, wall,
             stats.instructions_executed + stats.instructions_fast_forwarded,
             stats, runtime, cache, bytes(main.state.buf), main.halted, main)
+        result.audit = auditor.report() if auditor is not None else None
+        return result

@@ -16,7 +16,12 @@ failures injected at the seams the pool already has to survive:
 * ``slow`` — stall ingestion of a result (latency spike; feeds the
   EWMA and the inflight-wait ledger);
 * ``drop`` — discard a received result outright (the worker answered,
-  the answer is lost; the target must be re-speculated).
+  the answer is lost; the target must be re-speculated);
+* ``taint`` — semantically corrupt a decoded cache entry before it
+  reaches the trajectory cache (wrong end byte, dropped dependency,
+  inflated length). Unlike ``corrupt`` this damage is *CRC-valid*: no
+  transport check can see it, only the verify subsystem's shadow audit
+  (`repro audit`, ``--verify-rate``) catches it.
 
 The plan is deterministic given its seed: the *decision sequence* (which
 dispatch/receive event gets which fault) is fixed up front, so a chaos
@@ -32,13 +37,18 @@ the ``REPRO_FAULT_PLAN`` environment variable with the same syntax.
 import random
 from collections import Counter, deque
 
+import numpy as np
+
+from repro.core.trajectory_cache import CacheEntry
 from repro.errors import ReproError
 
 #: Fault kinds injected when a task is dispatched to a worker.
 DISPATCH_KINDS = ("kill", "timeout")
 #: Fault kinds injected when a result frame is received from a worker.
 RECEIVE_KINDS = ("corrupt", "slow", "drop")
-ALL_KINDS = DISPATCH_KINDS + RECEIVE_KINDS
+#: Fault kinds injected on a decoded cache entry (post-CRC).
+ENTRY_KINDS = ("taint",)
+ALL_KINDS = DISPATCH_KINDS + RECEIVE_KINDS + ENTRY_KINDS
 
 
 class FaultPlanError(ReproError):
@@ -58,9 +68,9 @@ class FaultPlan:
     """
 
     def __init__(self, seed=0, kills=0, timeouts=0, corruptions=0,
-                 slows=0, drops=0, slow_seconds=0.05, start_after=2,
-                 spacing=2):
-        if min(kills, timeouts, corruptions, slows, drops) < 0:
+                 slows=0, drops=0, taints=0, slow_seconds=0.05,
+                 start_after=2, spacing=2):
+        if min(kills, timeouts, corruptions, slows, drops, taints) < 0:
             raise FaultPlanError("fault quotas must be >= 0")
         if spacing < 1:
             raise FaultPlanError("spacing must be >= 1")
@@ -70,6 +80,7 @@ class FaultPlan:
         self.corruptions = corruptions
         self.slows = slows
         self.drops = drops
+        self.taints = taints
         self.slow_seconds = slow_seconds
         self.start_after = start_after
         self.spacing = spacing
@@ -81,9 +92,11 @@ class FaultPlan:
         rng.shuffle(receive)
         self._dispatch_queue = deque(dispatch)
         self._receive_queue = deque(receive)
+        self._entry_queue = deque(["taint"] * taints)
         self._rng = rng  # drives corruption shapes, deterministically
         self._dispatch_events = 0
         self._receive_events = 0
+        self._entry_events = 0
         self.injected = Counter()
 
     # -- scheduling ----------------------------------------------------------
@@ -120,6 +133,17 @@ class FaultPlan:
         self._receive_events += 1
         return kind
 
+    def next_entry_fault(self):
+        """Fault to apply to this decoded cache entry (or ``None``).
+
+        Counted on its own event stream — an event is one result frame
+        that actually carried an entry, so a ``taint`` quota is never
+        wasted on entry-less (fault/budget/empty) results.
+        """
+        kind = self._next(self._entry_queue, self._entry_events, None)
+        self._entry_events += 1
+        return kind
+
     def corrupt_bytes(self, data):
         """Deterministically damage one frame.
 
@@ -137,24 +161,57 @@ class FaultPlan:
         mutated[self._rng.randrange(len(mutated))] ^= 0xFF
         return bytes(mutated)
 
+    def taint_entry(self, entry):
+        """Deterministically corrupt one cache entry's *semantics*.
+
+        Rotates (by plan RNG) through three shapes of the bug class the
+        shadow audit exists for: a wrong end byte (bad write-set value),
+        a dropped start index (under-approximated dependency set), and
+        an inflated instruction count (wrong claimed length). The
+        returned entry is structurally valid and CRC-clean on the wire.
+        """
+        start_indices = np.array(entry.start_indices, dtype=np.int64)
+        start_values = np.array(entry.start_values, dtype=np.uint8)
+        end_indices = np.array(entry.end_indices, dtype=np.int64)
+        end_values = np.array(entry.end_values, dtype=np.uint8)
+        length = entry.length
+        mode = self._rng.randrange(3)
+        if mode == 0 and len(end_values):
+            end_values[self._rng.randrange(len(end_values))] ^= 0x5A
+        elif mode == 1 and len(start_indices) > 1:
+            drop = self._rng.randrange(len(start_indices))
+            mask = np.arange(len(start_indices)) != drop
+            start_indices = start_indices[mask]
+            start_values = start_values[mask]
+        else:
+            length += 1
+        return CacheEntry(entry.rip, start_indices, start_values,
+                          end_indices, end_values, length,
+                          occurrences=entry.occurrences,
+                          ready_time=entry.ready_time,
+                          halted=entry.halted)
+
     # -- introspection -------------------------------------------------------
 
     @property
     def exhausted(self):
         """Every scheduled fault has been injected."""
-        return not self._dispatch_queue and not self._receive_queue
+        return (not self._dispatch_queue and not self._receive_queue
+                and not self._entry_queue)
 
     @property
     def pending(self):
         """Faults scheduled but not yet injected, by kind."""
-        return Counter(self._dispatch_queue) + Counter(self._receive_queue)
+        return (Counter(self._dispatch_queue)
+                + Counter(self._receive_queue)
+                + Counter(self._entry_queue))
 
     def as_dict(self):
         return {
             "seed": self.seed,
             "scheduled": {"kill": self.kills, "timeout": self.timeouts,
                           "corrupt": self.corruptions, "slow": self.slows,
-                          "drop": self.drops},
+                          "drop": self.drops, "taint": self.taints},
             "injected": dict(self.injected),
             "pending": dict(self.pending),
         }
@@ -168,6 +225,7 @@ class FaultPlan:
         "corrupt": ("corruptions", int),
         "slow": ("slows", int),
         "drop": ("drops", int),
+        "taint": ("taints", int),
         "slow_ms": ("slow_seconds", lambda v: int(v) / 1000.0),
         "start": ("start_after", int),
         "spacing": ("spacing", int),
@@ -200,9 +258,10 @@ class FaultPlan:
 
     def __repr__(self):
         return ("FaultPlan(seed=%d, kill=%d, timeout=%d, corrupt=%d, "
-                "slow=%d, drop=%d, injected=%s)"
+                "slow=%d, drop=%d, taint=%d, injected=%s)"
                 % (self.seed, self.kills, self.timeouts, self.corruptions,
-                   self.slows, self.drops, dict(self.injected)))
+                   self.slows, self.drops, self.taints,
+                   dict(self.injected)))
 
 
 def resolve_fault_plan(value):

@@ -68,10 +68,11 @@ class SpeculationTask:
     """One dispatched speculation, as the engine sees it."""
 
     __slots__ = ("task_id", "rip", "occurrences", "max_instructions",
-                 "meta", "dispatch_time", "payload_bytes", "worker")
+                 "meta", "dispatch_time", "payload_bytes", "worker",
+                 "audit")
 
     def __init__(self, task_id, rip, occurrences, max_instructions, meta,
-                 dispatch_time, payload_bytes, worker):
+                 dispatch_time, payload_bytes, worker, audit=False):
         self.task_id = task_id
         self.rip = rip
         self.occurrences = occurrences
@@ -80,6 +81,7 @@ class SpeculationTask:
         self.dispatch_time = dispatch_time
         self.payload_bytes = payload_bytes
         self.worker = worker  # worker index it ran on
+        self.audit = audit  # shadow-audit replay, not a speculation
 
     def __repr__(self):
         return "SpeculationTask(id=%d, rip=0x%x, worker=%d)" % (
@@ -270,8 +272,12 @@ class WorkerPool:
     # -- dispatch ------------------------------------------------------------
 
     def submit(self, rip, occurrences, max_instructions, start_state,
-               meta=None):
+               meta=None, audit=False):
         """Assign a speculation to the least-loaded live worker.
+
+        ``audit=True`` ships a shadow-audit replay instead (the worker
+        re-executes ``max_instructions`` steps on the reference tier;
+        the outcome is routed to the auditor, not the cache).
 
         Returns the :class:`SpeculationTask`, or ``None`` when every
         live worker is at its queue depth — or none are live at all
@@ -282,7 +288,8 @@ class WorkerPool:
             raise PoolError("submit on a shut-down pool")
         task_id = next(self._task_ids)
         payload = wire.encode_task(task_id, rip, occurrences,
-                                   max_instructions, start_state)
+                                   max_instructions, start_state,
+                                   flags=wire.FLAG_AUDIT if audit else 0)
         # A worker found dead at dispatch time is failed through the
         # normal supervision path (its outcomes surface on the next
         # poll) and the dispatch retries on whatever is still live.
@@ -302,7 +309,7 @@ class WorkerPool:
                 continue
             task = SpeculationTask(task_id, rip, occurrences,
                                    max_instructions, meta, time.monotonic(),
-                                   len(payload), worker.index)
+                                   len(payload), worker.index, audit=audit)
             worker.inflight.append(task)
             self.stats.tasks_dispatched += 1
             self.stats.bytes_sent += len(payload)
@@ -422,6 +429,22 @@ class WorkerPool:
         self.stats.tasks_completed += 1
         self.stats.bytes_received += len(data)
         self.stats.worker_instructions += msg.instructions
+        if task.audit:
+            # Audit verdicts bypass the shipped/failed speculation
+            # accounting (and fault injection): the auditor owns them.
+            status = (TASK_OK if msg.status == wire.RESULT_OK
+                      and msg.entry is not None else TASK_FAILED)
+            return TaskOutcome(task, status, entry=msg.entry,
+                               instructions=msg.instructions,
+                               halted=msg.halted, fault=msg.fault,
+                               duration=duration)
+        if self.faults is not None and msg.entry is not None:
+            # Entry-level fault injection: semantically corrupt a
+            # CRC-valid entry (the divergence class only the verify
+            # subsystem can catch).
+            if self.faults.next_entry_fault() == "taint":
+                msg.entry = self.faults.taint_entry(msg.entry)
+                self.stats.faults_injected += 1
         if msg.status == wire.RESULT_OK and msg.entry is not None:
             self.stats.entries_shipped += 1
             status = TASK_OK

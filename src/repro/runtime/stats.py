@@ -47,9 +47,20 @@ class RuntimeStats:
         # -- checkpointing ---------------------------------------------
         self.checkpoints_written = 0
         self.checkpoints_restored = 0
+        # -- semantic verification (verify/) ---------------------------
+        self.audits_sampled = 0  # splices picked for shadow audit
+        self.audits_clean = 0  # audits that confirmed the entry
+        self.audits_divergent = 0  # audits that refuted the entry
+        self.audits_lost = 0  # audit tasks lost (crash/timeout/drop)
+        self.audit_rollbacks = 0  # pre-splice snapshot restores
+        self.cache_groups_quarantined = 0  # (rip, dep-set) groups hidden
+        self.cache_groups_readmitted = 0  # groups re-admitted after decay
+        self.incidents = []  # structured divergence reports (dicts)
 
     def as_dict(self):
-        return dict(self.__dict__)
+        out = dict(self.__dict__)
+        out["incidents"] = [dict(i) for i in self.incidents]
+        return out
 
     def __repr__(self):
         return ("RuntimeStats(dispatched=%d, completed=%d, shipped=%d, "

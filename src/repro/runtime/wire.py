@@ -40,7 +40,7 @@ from repro.core.trajectory_cache import CacheEntry
 from repro.errors import ReproError
 
 WIRE_MAGIC = b"ASCP"
-WIRE_VERSION = 2
+WIRE_VERSION = 3
 
 #: Default ceiling on a single frame; RuntimeConfig can override.
 DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -49,6 +49,9 @@ MSG_TASK = 1
 MSG_RESULT = 2
 MSG_SHUTDOWN = 3
 
+#: Task flags (bitmask).
+FLAG_AUDIT = 1  # replay exactly ``max_instructions`` steps, reference tier
+
 #: Result status codes (worker-side view of one speculation).
 RESULT_OK = 0  # a usable cache entry is attached
 RESULT_FAULT = 1  # the predicted state faulted (no entry)
@@ -56,7 +59,8 @@ RESULT_BUDGET = 2  # wandering budget exhausted mid-superstep (no entry)
 RESULT_EMPTY = 3  # zero instructions executed (e.g. already halted)
 
 _HEADER = struct.Struct("<4sHBI")  # magic, version, type, payload CRC32
-_TASK = struct.Struct("<QIIQI")  # task_id, rip, occurrences, budget, state_len
+_TASK = struct.Struct("<QIIQBI")  # task_id, rip, occurrences, budget,
+#                                    flags, state_len
 _RESULT = struct.Struct("<QBQBBH")  # task_id, status, instructions,
 #                                     halted, has_entry, fault_len
 _ENTRY = struct.Struct("<IQIBII")  # rip, length, occurrences, halted,
@@ -71,15 +75,16 @@ class TaskMessage:
     """Decoded :data:`MSG_TASK` payload."""
 
     __slots__ = ("task_id", "rip", "occurrences", "max_instructions",
-                 "start_state")
+                 "start_state", "flags")
 
     def __init__(self, task_id, rip, occurrences, max_instructions,
-                 start_state):
+                 start_state, flags=0):
         self.task_id = task_id
         self.rip = rip
         self.occurrences = occurrences
         self.max_instructions = max_instructions
         self.start_state = start_state  # bytes, one full state vector
+        self.flags = flags
 
 
 class ResultMessage:
@@ -167,22 +172,23 @@ def decode_message(data, max_frame_bytes=None):
     return msg_type, _HEADER.size
 
 
-def encode_task(task_id, rip, occurrences, max_instructions, start_state):
+def encode_task(task_id, rip, occurrences, max_instructions, start_state,
+                flags=0):
     payload = _TASK.pack(task_id, rip, occurrences, max_instructions,
-                         len(start_state)) + bytes(start_state)
+                         flags, len(start_state)) + bytes(start_state)
     return _frame(MSG_TASK, payload)
 
 
 def decode_task(data, pos):
     if pos + _TASK.size > len(data):
         raise WireError("truncated task header")
-    task_id, rip, occurrences, budget, state_len = \
+    task_id, rip, occurrences, budget, flags, state_len = \
         _TASK.unpack_from(data, pos)
     pos += _TASK.size
     if pos + state_len != len(data):
         raise WireError("task state length mismatch")
     return TaskMessage(task_id, rip, occurrences, budget,
-                       bytes(data[pos:pos + state_len]))
+                       bytes(data[pos:pos + state_len]), flags=flags)
 
 
 def encode_result(task_id, result):

@@ -19,6 +19,7 @@ import signal
 from repro.core.speculation import run_speculation
 from repro.loader.image import Program
 from repro.runtime import wire
+from repro.verify.audit import run_audit
 
 
 def worker_main(conn, program_payload, fast_path, max_frame_bytes=None):
@@ -53,8 +54,16 @@ def worker_main(conn, program_payload, fast_path, max_frame_bytes=None):
                 raise wire.WireError("worker got unexpected message type %d"
                                      % msg_type)
             task = wire.decode_task(data, pos)
-            result = run_speculation(context, task.start_state, task.rip,
-                                     task.occurrences, task.max_instructions)
+            if task.flags & wire.FLAG_AUDIT:
+                # Shadow audit: replay exactly the claimed instruction
+                # count on the reference tier and ship the ground truth.
+                result = run_audit(context, task.start_state, task.rip,
+                                   task.max_instructions,
+                                   occurrences=task.occurrences)
+            else:
+                result = run_speculation(context, task.start_state,
+                                         task.rip, task.occurrences,
+                                         task.max_instructions)
             conn.send_bytes(wire.encode_result(task.task_id, result))
     finally:
         conn.close()

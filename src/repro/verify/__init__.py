@@ -1,0 +1,35 @@
+"""Online semantic verification of trajectory-cache splices.
+
+The transport layer (wire CRCs, checkpoint section checksums) catches
+bit-rot; nothing before this package caught *bad semantics* — a cache
+entry whose dependency set was under-approximated matches states it
+should not and splices a wrong end-state into the main trajectory
+silently. This package closes that hole:
+
+* :mod:`repro.verify.audit` — shadow re-execution of a spliced segment
+  with full dependency tracking, plus the strict comparison of the
+  replayed ground truth against the entry's claims;
+* :mod:`repro.verify.auditor` — the :class:`SpliceAuditor` state
+  machine wired into the engines: sampling, pool-offloaded audits,
+  quarantine of the offending ``(rip, dep-index-set)`` group, rollback
+  to the retained pre-splice snapshot, structured incidents;
+* :mod:`repro.verify.config` — ``--verify-rate`` / ``REPRO_VERIFY`` /
+  strict-mode resolution;
+* :mod:`repro.verify.incidents` — the structured incident records
+  surfaced through ``RuntimeStats`` and ``repro audit``.
+"""
+
+from repro.verify.audit import compare_audit, run_audit
+from repro.verify.auditor import PendingAudit, SpliceAuditor
+from repro.verify.config import VerifyConfig, resolve_verify
+from repro.verify.incidents import make_incident
+
+__all__ = [
+    "PendingAudit",
+    "SpliceAuditor",
+    "VerifyConfig",
+    "compare_audit",
+    "make_incident",
+    "resolve_verify",
+    "run_audit",
+]

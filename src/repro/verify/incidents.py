@@ -1,0 +1,41 @@
+"""Structured divergence incidents.
+
+An incident is one JSON-serializable dict describing a splice the
+shadow audit refuted: where it happened, what the entry claimed, which
+comparisons failed, and what the runtime did about it. They accumulate
+in ``RuntimeStats.incidents`` (real backend), in the auditor's own
+report (simulated engines), and in the ``repro audit`` output — the
+machine-checkable artifact the strict-verify CI job greps.
+"""
+
+
+def make_incident(entry, mismatches, superstep, mode, action):
+    """Build one incident record for a refuted splice.
+
+    ``mode`` is how the audit ran (``"sync"`` inline, ``"async"``
+    through the worker pool); ``action`` what the engine did
+    (``"rollback"`` — pre-splice snapshot restored — or
+    ``"quarantine"`` when the offending splice was already off the
+    surviving timeline and only the group needed hiding).
+    """
+    return {
+        "superstep": int(superstep),
+        "rip": "0x%x" % entry.rip,
+        "dep_bytes": int(len(entry.start_indices)),
+        "write_bytes": int(len(entry.end_indices)),
+        "length": int(entry.length),
+        "occurrences": int(entry.occurrences),
+        "mismatches": list(mismatches),
+        "mode": str(mode),
+        "action": str(action),
+    }
+
+
+def format_incident(incident):
+    """One human-readable line per incident (CLI report)."""
+    return ("superstep %d: entry at %s (deps=%dB writes=%dB len=%d) "
+            "refuted on %s -> %s [%s audit]"
+            % (incident["superstep"], incident["rip"],
+               incident["dep_bytes"], incident["write_bytes"],
+               incident["length"], ",".join(incident["mismatches"]),
+               incident["action"], incident["mode"]))

@@ -263,3 +263,122 @@ def test_program_image_roundtrip(c_file, tmp_path):
     machine = loaded.make_machine()
     machine.run(max_instructions=100_000)
     assert machine.state.read_i32(loaded.symbol("g_total")) == 820
+
+
+def test_audit_command_clean(capsys):
+    assert main(["audit", "collatz", "--size", "250", "--seed", "42",
+                 "--workers", "2"]) == 0
+    text = capsys.readouterr().out
+    assert "splices verified" in text
+    assert "IDENTICAL" in text
+    assert "audit verdict: CLEAN" in text
+
+
+def test_audit_command_catches_tainted_entries(capsys):
+    assert main(["audit", "collatz", "--size", "250", "--seed", "42",
+                 "--taints", "2", "--workers", "2"]) == 1
+    text = capsys.readouterr().out
+    assert "refuted" in text  # structured incident report
+    assert "audit verdict: DIVERGENT" in text
+    # Recovery still holds: the tainted splices were rolled back.
+    assert "IDENTICAL" in text
+
+
+def test_audit_command_json(capsys):
+    import json
+    assert main(["audit", "collatz", "--size", "250", "--seed", "7",
+                 "--fault-plan", "seed=7,taint=2", "--json",
+                 "--workers", "2"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert payload["identical"] is True  # rollback preserved the state
+    assert payload["audit"]["divergent"] >= 1
+    assert payload["audit"]["incidents"]
+    incident = payload["audit"]["incidents"][0]
+    for key in ("superstep", "rip", "mismatches", "mode", "action"):
+        assert key in incident
+    assert payload["plan"]["injected"].get("taint") == 2
+    assert payload["cache"]["n_groups_quarantined"] >= 1
+
+
+def test_run_real_backend_json_verify_and_cache_sections(tmp_path, capsys):
+    import json
+    path = tmp_path / "loop.c"
+    path.write_text("""
+        int total;
+        int main() {
+            int i;
+            for (i = 1; i <= 900; i++) total += i;
+            return total;
+        }
+    """)
+    assert main(["run", str(path), "--backend", "real", "--workers", "2",
+                 "--json", "--verify-rate", "1.0"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    cache = payload["cache"]
+    for key in ("n_entries", "n_evicted", "n_groups_quarantined",
+                "quarantined_groups"):
+        assert key in cache
+    audit = payload["audit"]
+    assert audit["rate"] == 1.0
+    assert audit["divergent"] == 0
+    assert payload["runtime"]["audits_sampled"] == audit["sampled"]
+
+
+def test_scale_sim_json(tmp_path, capsys):
+    import json
+    path = tmp_path / "loop.c"
+    path.write_text("""
+        int out[400];
+        int step(int v) {
+            int j;
+            for (j = 0; j < 12; j++) v = v * 5 + j;
+            return v;
+        }
+        int main() {
+            int i;
+            for (i = 0; i < 400; i++) out[i] = step(i);
+            return out[399];
+        }
+    """)
+    assert main(["scale", str(path), "--cores", "4,16", "--json",
+                 "--window", "30000", "--min-superstep", "80"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["backend"] == "sim"
+    lasc = payload["series"]["lasc"]
+    assert [p["cores"] for p in lasc] == [4, 16]
+    for point in lasc:
+        assert "n_evicted" in point["cache"]
+        assert point["stats"]["queries"] >= 0
+    # The ideal series carries no engine diagnostics.
+    assert payload["series"]["ideal"][0]["stats"] is None
+
+
+def test_scale_real_backend_json(tmp_path, capsys):
+    import json
+    path = tmp_path / "loop.c"
+    path.write_text("""
+        int out[400];
+        int step(int v) {
+            int j;
+            for (j = 0; j < 12; j++) v = v * 5 + j;
+            return v;
+        }
+        int main() {
+            int i;
+            for (i = 0; i < 400; i++) out[i] = step(i);
+            return out[399];
+        }
+    """)
+    assert main(["scale", str(path), "--backend", "real", "--workers", "2",
+                 "--json", "--verify-rate", "1.0",
+                 "--window", "30000", "--min-superstep", "80"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["backend"] == "real"
+    assert payload["identical"] is True
+    point = payload["points"][0]
+    assert point["workers"] == 2
+    assert "n_evicted" in point["cache"]
+    assert "breaker_trips" in point["runtime"]  # supervisor counters
+    assert point["audit"]["rate"] == 1.0
+    assert point["audit"]["divergent"] == 0

@@ -1,0 +1,260 @@
+"""End-to-end audit & recovery: planted under-approximated entries.
+
+The bug class the verify subsystem exists for: a cache entry whose
+dependency (read) set is *under-approximated*. Such an entry matches a
+state it should not match — the dropped byte differs — and splices in
+the continuation of a different computation. These tests plant exactly
+that entry, show that an unverified run silently diverges from the
+sequential reference, and that ``--verify-rate 1.0`` detects the
+splice, quarantines the group, rolls back to the pre-splice snapshot,
+and finishes byte-identical — on the simulated engines and on the real
+multiprocess backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import build_collatz
+from repro.cluster import server32
+from repro.core.engine import MemoizingEngine, ParallelEngine
+from repro.core.oracle import TrajectoryRecord
+from repro.core.recognizer import Recognizer
+from repro.core.speculation import run_speculation
+from repro.core.trajectory_cache import CacheEntry, TrajectoryCache
+from repro.runtime import RealParallelEngine, RuntimeConfig
+from repro.verify import VerifyConfig
+
+DETERMINISTIC = RuntimeConfig(n_workers=2, inflight_wait_bias=1e9)
+
+
+def sequential_final(program, limit=50_000_000):
+    machine = program.make_machine()
+    machine.run(max_instructions=limit)
+    assert machine.halted
+    return bytes(machine.state.buf)
+
+
+def boundary_state(program, rip, stride, k):
+    """The machine state at the ``k``-th superstep boundary (1-based)."""
+    machine = program.make_machine()
+    for __ in range(k * stride):
+        machine.run(max_instructions=50_000_000,
+                    break_ips=frozenset((rip,)))
+    return bytes(machine.state.buf)
+
+
+def plant_underapproximated_entry(program, rip, state, occurrences,
+                                  expected_final):
+    """Forge an entry whose read set is missing one byte it depends on.
+
+    Flip one byte ``b`` of ``state`` that the segment genuinely reads,
+    speculate from the flipped state (a true fact about the *wrong*
+    state), then drop ``b`` from the entry's read set. The result
+    matches the true state on every remaining byte but carries the
+    flipped computation's continuation — and provably derails the run:
+    the helper only returns an entry whose splice reaches a halting
+    final state different from the sequential reference.
+    """
+    context = program.make_context()
+    genuine = run_speculation(context, state, rip, occurrences, 200_000)
+    assert genuine.entry is not None
+    for b in (int(i) for i in genuine.entry.start_indices):
+        flipped = bytearray(state)
+        flipped[b] ^= 1
+        spec = run_speculation(context, bytes(flipped), rip, occurrences,
+                               200_000)
+        entry = spec.entry
+        if entry is None or spec.fault is not None:
+            continue
+        where = np.where(entry.start_indices == b)[0]
+        if len(where) != 1 or len(entry.start_indices) < 2:
+            continue
+        mask = np.arange(len(entry.start_indices)) != where[0]
+        planted = CacheEntry(rip, entry.start_indices[mask],
+                             entry.start_values[mask], entry.end_indices,
+                             entry.end_values, entry.length,
+                             occurrences=entry.occurrences,
+                             halted=entry.halted)
+        probe = bytearray(state)
+        planted.apply(probe)
+        machine = program.make_machine()
+        machine.state.buf[:] = probe
+        machine.run(max_instructions=50_000_000)
+        if machine.halted and bytes(machine.state.buf) != expected_final:
+            return planted
+    raise AssertionError("no byte flip yields a corrupting planted entry")
+
+
+def cache_with(entry):
+    cache = TrajectoryCache()
+    cache.insert(entry)
+    return cache
+
+
+# -- simulated backend: MemoizingEngine ----------------------------------------
+
+class TestMemoizingEngine:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = build_collatz(count=220, memoize=True)
+        program = workload.program
+        recognized = Recognizer(workload.config).find_for_memoization(
+            program)
+        expected = sequential_final(program)
+        planted = plant_underapproximated_entry(
+            program, recognized.ip,
+            boundary_state(program, recognized.ip, recognized.stride, 3),
+            2, expected)
+        return workload, recognized, expected, planted
+
+    def test_unverified_run_silently_diverges(self, setup):
+        workload, recognized, expected, planted = setup
+        result = MemoizingEngine(
+            workload.program, config=workload.config, recognized=recognized,
+            initial_cache=cache_with(planted)).run()
+        assert result.final_state != expected  # the audit's raison d'etre
+
+    def test_verified_run_detects_quarantines_rolls_back(self, setup):
+        workload, recognized, expected, planted = setup
+        result = MemoizingEngine(
+            workload.program, config=workload.config, recognized=recognized,
+            initial_cache=cache_with(planted),
+            verify=VerifyConfig(rate=1.0)).run()
+        assert result.final_state == expected  # byte-identical recovery
+        audit = result.audit
+        assert audit["divergent"] >= 1
+        assert audit["rollbacks"] >= 1
+        assert audit["groups_quarantined"] >= 1
+        # With the default decay the group is re-admitted after enough
+        # clean audits; either way it was quarantined at some point and
+        # the books balance.
+        assert (audit["quarantined_now"] >= 1
+                or audit["groups_readmitted"] >= 1)
+        assert audit["incidents"]
+        incident = audit["incidents"][0]
+        assert "read-set" in incident["mismatches"]
+        assert incident["action"] == "rollback"
+
+    def test_clean_run_audits_everything_quietly(self, setup):
+        workload, recognized, expected, __ = setup
+        result = MemoizingEngine(
+            workload.program, config=workload.config, recognized=recognized,
+            verify=VerifyConfig(rate=1.0)).run()
+        assert result.final_state == expected
+        audit = result.audit
+        assert audit["sampled"] == result.stats.hits
+        assert audit["sampled"] > 0
+        assert audit["divergent"] == 0
+        assert audit["incidents"] == []
+
+
+# -- simulated backend: ParallelEngine -----------------------------------------
+
+def test_parallel_engine_recovers_from_planted_entry():
+    workload = build_collatz(count=220)
+    program = workload.program
+    # The simulated engine probes the cache only after the recognizer's
+    # convergence charge has elapsed; charge two supersteps and plant
+    # past them.
+    config = workload.config.replace(converge_supersteps_charge=2.0)
+    recognized = Recognizer(config).find(program)
+    record = TrajectoryRecord(program, recognized, config)
+    expected = sequential_final(program)
+    cache = TrajectoryCache()
+    for k in (12, 15, 18):
+        cache.insert(plant_underapproximated_entry(
+            program, recognized.ip,
+            boundary_state(program, recognized.ip, recognized.stride, k),
+            recognized.stride, expected))
+    result = ParallelEngine(
+        program, server32(8), config=config,
+        recognized=recognized, record=record, initial_cache=cache,
+        verify=VerifyConfig(rate=1.0)).run()
+    # With every splice audited, the planted entry is refuted on the
+    # spot, the pre-splice snapshot restored, and the run completes on
+    # the true trajectory (the engine's own progress identity holds).
+    assert result.final_state == expected
+    audit = result.audit
+    assert audit["divergent"] >= 1
+    assert audit["rollbacks"] >= 1
+    assert (result.stats.instructions_executed
+            + result.stats.instructions_fast_forwarded
+            == result.total_instructions)
+
+
+# -- real multiprocess backend -------------------------------------------------
+
+class TestRealBackend:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = build_collatz(count=300)
+        program = workload.program
+        recognized = Recognizer(workload.config).find(program)
+        expected = sequential_final(program)
+        planted = plant_underapproximated_entry(
+            program, recognized.ip,
+            boundary_state(program, recognized.ip, recognized.stride, 3),
+            recognized.stride, expected)
+        return workload, recognized, expected, planted
+
+    def test_unverified_run_silently_diverges(self, setup):
+        workload, recognized, expected, planted = setup
+        result = RealParallelEngine(
+            workload.program, config=workload.config,
+            runtime_config=DETERMINISTIC, recognized=recognized,
+            initial_cache=cache_with(planted)).run()
+        assert result.halted
+        assert result.final_state != expected
+
+    def test_verified_run_detects_quarantines_rolls_back(self, setup):
+        workload, recognized, expected, planted = setup
+        result = RealParallelEngine(
+            workload.program, config=workload.config,
+            runtime_config=DETERMINISTIC, recognized=recognized,
+            initial_cache=cache_with(planted),
+            verify=VerifyConfig(rate=1.0)).run()
+        assert result.halted
+        assert result.final_state == expected  # byte-identical recovery
+        audit = result.audit
+        assert audit["divergent"] >= 1
+        assert audit["rollbacks"] >= 1
+        assert audit["groups_quarantined"] >= 1
+        assert any("read-set" in i["mismatches"]
+                   for i in audit["incidents"])
+        # Counters are mirrored into RuntimeStats for --json reports.
+        assert result.runtime.audits_divergent == audit["divergent"]
+        assert result.runtime.audit_rollbacks == audit["rollbacks"]
+        assert result.runtime.incidents
+        # Progress identity survives the rollback accounting.
+        assert (result.stats.instructions_executed
+                + result.stats.instructions_fast_forwarded
+                == result.total_instructions)
+
+    def test_strict_mode_verifies_synchronously(self, setup):
+        workload, recognized, expected, planted = setup
+        result = RealParallelEngine(
+            workload.program, config=workload.config,
+            runtime_config=DETERMINISTIC, recognized=recognized,
+            initial_cache=cache_with(planted),
+            verify=VerifyConfig(strict=True)).run()
+        assert result.halted
+        assert result.final_state == expected
+        audit = result.audit
+        assert audit["strict"] is True
+        assert audit["divergent"] >= 1
+        assert all(i["mode"] == "sync" for i in audit["incidents"])
+
+    def test_clean_run_audits_everything_quietly(self, setup):
+        workload, recognized, expected, __ = setup
+        result = RealParallelEngine(
+            workload.program, config=workload.config,
+            runtime_config=DETERMINISTIC, recognized=recognized,
+            verify=VerifyConfig(rate=1.0)).run()
+        assert result.halted
+        assert result.final_state == expected
+        audit = result.audit
+        assert audit["sampled"] > 0
+        assert audit["divergent"] == 0
+        assert audit["lost"] == 0
+        assert audit["incidents"] == []
+        assert result.runtime.audits_sampled == audit["sampled"]
