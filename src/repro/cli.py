@@ -129,6 +129,24 @@ def _supervision_line(runtime):
                runtime.faults_injected))
 
 
+def _wire_line(transport, runtime):
+    """Logical vs physical transport bytes, one human-readable line."""
+    logical = runtime.logical_bytes_sent + runtime.logical_bytes_received
+    physical = runtime.bytes_sent + runtime.bytes_received
+    line = ("transport %s: %d/%d pipe bytes out/in (logical %d/%d)"
+            % (transport, runtime.bytes_sent, runtime.bytes_received,
+               runtime.logical_bytes_sent, runtime.logical_bytes_received))
+    if transport == "shm":
+        ratio = (runtime.state_bytes_raw / runtime.state_bytes_shipped
+                 if runtime.state_bytes_shipped else 0.0)
+        line += ("; %d shm bytes written, %d read; delta %.1fx "
+                 "(%d sparse / %d full); %.1fx off the pipes"
+                 % (runtime.shm_bytes_written, runtime.shm_bytes_read,
+                    ratio, runtime.states_delta, runtime.states_full,
+                    logical / physical if physical else 0.0))
+    return line
+
+
 def _run_real_backend(program, args):
     """Execute on the multiprocess runtime; returns (machine, payload)."""
     from repro.runtime import RealParallelEngine, RuntimeConfig
@@ -137,6 +155,7 @@ def _run_real_backend(program, args):
         n_workers=args.workers,
         superstep_scale=args.superstep_scale,
         max_instructions=args.max_instructions,
+        transport=getattr(args, "transport", None),
         fault_plan=getattr(args, "fault_plan", None))
     checkpointer, resume_from = _checkpoint_setup(args, program)
     engine = RealParallelEngine(program, config=_engine_config(args),
@@ -154,6 +173,7 @@ def _run_real_backend(program, args):
         "total_instructions": result.total_instructions,
         "resumed_instructions": engine.resumed_instructions,
         "n_workers": result.n_workers,
+        "transport": runtime_config.transport,
         "stats": stats.as_dict(),
         "runtime": runtime.as_dict(),
         "cache": result.cache.stats_dict(),
@@ -167,11 +187,11 @@ def _run_real_backend(program, args):
                  stats.instructions_executed,
                  stats.instructions_fast_forwarded))
         print("real backend: %d workers, %d dispatched, %d shipped, "
-              "%d used, %d crashed, %d timed-out, %d/%d bytes out/in"
+              "%d used, %d crashed, %d timed-out"
               % (result.n_workers, runtime.tasks_dispatched,
                  runtime.entries_shipped, runtime.entries_used,
-                 runtime.tasks_crashed, runtime.tasks_timed_out,
-                 runtime.bytes_sent, runtime.bytes_received))
+                 runtime.tasks_crashed, runtime.tasks_timed_out))
+        print(_wire_line(runtime_config.transport, runtime))
         print(_supervision_line(runtime))
         if result.audit is not None:
             print(_verify_line(result.audit))
@@ -299,7 +319,8 @@ def _scale_real_backend(program, args):
     points = []
     for n_workers in (int(w) for w in args.workers.split(",")):
         runtime_config = RuntimeConfig(
-            n_workers=n_workers, superstep_scale=args.superstep_scale)
+            n_workers=n_workers, superstep_scale=args.superstep_scale,
+            transport=getattr(args, "transport", None))
         checkpointer, resume_from = _checkpoint_setup(
             program=program, args=args, subdir="w%d" % n_workers)
         result = RealParallelEngine(
@@ -310,6 +331,7 @@ def _scale_real_backend(program, args):
         all_identical = all_identical and identical
         points.append({
             "workers": n_workers,
+            "transport": runtime_config.transport,
             "wall_seconds": result.wall_seconds,
             "speedup": result.speedup_vs(seq_wall),
             "identical": identical,
@@ -326,6 +348,8 @@ def _scale_real_backend(program, args):
                   % (n_workers, result.wall_seconds,
                      result.speedup_vs(seq_wall), result.stats.hits,
                      result.runtime.entries_shipped, identical))
+            print("    " + _wire_line(runtime_config.transport,
+                                      result.runtime))
             if resume_from is not None:
                 # A resumed run replays only the tail; its final state
                 # must still match the uninterrupted sequential
@@ -450,6 +474,7 @@ def cmd_chaos(args):
         n_workers=args.workers,
         max_instructions=args.max_instructions,
         task_timeout_seconds=args.task_timeout,
+        transport=getattr(args, "transport", None),
         fault_plan=plan)
     engine = RealParallelEngine(program, config=config,
                                 runtime_config=runtime_config)
@@ -513,6 +538,7 @@ def cmd_audit(args):
         n_workers=args.workers,
         max_instructions=args.max_instructions,
         inflight_wait_bias=1e9,
+        transport=getattr(args, "transport", None),
         fault_plan=plan)
     engine = RealParallelEngine(
         program, config=config, runtime_config=runtime_config,
@@ -584,6 +610,14 @@ def build_parser():
                        help="audit every splice synchronously and "
                             "quarantine divergent groups for good")
 
+    def add_transport_flag(p):
+        p.add_argument("--transport", choices=["shm", "pipe"], default=None,
+                       help="state transport for the real backend: 'shm' "
+                            "ships states and entries through shared-"
+                            "memory rings with delta compression, 'pipe' "
+                            "sends full payloads inline (default follows "
+                            "REPRO_TRANSPORT, else shm where available)")
+
     def add_checkpoint_flags(p):
         p.add_argument("--checkpoint-dir", dest="checkpoint_dir",
                        help="write periodic durable checkpoints here")
@@ -615,6 +649,7 @@ def build_parser():
     p.add_argument("--fault-plan", dest="fault_plan", metavar="SPEC",
                    help="inject faults, e.g. 'seed=42,kill=2,corrupt=1' "
                         "(real backend)")
+    add_transport_flag(p)
     add_verify_flags(p)
     add_checkpoint_flags(p)
     p.set_defaults(func=cmd_run)
@@ -640,6 +675,7 @@ def build_parser():
     p.add_argument("--json", action="store_true",
                    help="emit a JSON report (per-point stats, cache, "
                         "and audit sections)")
+    add_transport_flag(p)
     add_verify_flags(p)
     add_checkpoint_flags(p)
     p.set_defaults(func=cmd_scale)
@@ -685,6 +721,7 @@ def build_parser():
     p.add_argument("--min-superstep", type=int, dest="min_superstep")
     p.add_argument("--hints", action="store_true")
     p.add_argument("--json", action="store_true")
+    add_transport_flag(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -711,6 +748,7 @@ def build_parser():
     p.add_argument("--min-superstep", type=int, dest="min_superstep")
     p.add_argument("--hints", action="store_true")
     p.add_argument("--json", action="store_true")
+    add_transport_flag(p)
     p.set_defaults(func=cmd_audit)
     return parser
 

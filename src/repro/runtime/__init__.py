@@ -11,7 +11,11 @@ the main thread over pipes — the shape of the paper's LASC prototype
 Layers:
 
 * :mod:`repro.runtime.wire` — compact versioned binary wire format for
-  tasks and results (numpy-backed, no pickling of live objects);
+  tasks and results (numpy-backed, no pickling of live objects), plus
+  the delta codec and the shm control frames;
+* :mod:`repro.runtime.shm` — SPSC shared-memory ring buffers: the bulk
+  lane of the ``shm`` transport (states and entries move through
+  rings; pipes carry only blob references);
 * :mod:`repro.runtime.worker` — the worker process main loop (loads the
   program image once, keeps its block cache warm across tasks);
 * :mod:`repro.runtime.pool` — :class:`WorkerPool`: dispatch,
@@ -26,7 +30,7 @@ Layers:
   checkpoint/restore via :mod:`repro.core.checkpoint`.
 """
 
-from repro.runtime.config import RuntimeConfig
+from repro.runtime.config import TRANSPORTS, RuntimeConfig
 from repro.runtime.engine import RealParallelEngine, RealParallelResult
 from repro.runtime.faults import FaultPlan, FaultPlanError
 from repro.runtime.pool import (
@@ -34,10 +38,12 @@ from repro.runtime.pool import (
     TASK_CRASHED,
     TASK_FAILED,
     TASK_OK,
+    TASK_STALE,
     TASK_TIMED_OUT,
     TaskOutcome,
     WorkerPool,
 )
+from repro.runtime.shm import ShmError, ShmRing
 from repro.runtime.stats import RuntimeStats
 from repro.runtime.supervisor import Supervisor, WorkerHealth
 from repro.runtime.wire import WireError
@@ -50,11 +56,15 @@ __all__ = [
     "RealParallelResult",
     "RuntimeConfig",
     "RuntimeStats",
+    "ShmError",
+    "ShmRing",
     "Supervisor",
     "TASK_CRASHED",
     "TASK_FAILED",
     "TASK_OK",
+    "TASK_STALE",
     "TASK_TIMED_OUT",
+    "TRANSPORTS",
     "TaskOutcome",
     "WireError",
     "WorkerHealth",

@@ -15,6 +15,21 @@ def default_start_method():
     return "spawn"
 
 
+#: Valid state-transport names (see DESIGN.md §11).
+TRANSPORTS = ("shm", "pipe")
+
+
+def default_transport():
+    """``shm`` (ring buffers + control messages) wherever
+    ``multiprocessing.shared_memory`` exists, else the ``pipe``
+    fallback. Override with ``REPRO_TRANSPORT``."""
+    env = os.environ.get("REPRO_TRANSPORT")
+    if env:
+        return env
+    from repro.runtime.shm import shm_available
+    return "shm" if shm_available() else "pipe"
+
+
 class RuntimeConfig:
     """Tunables for :class:`~repro.runtime.pool.WorkerPool` and
     :class:`~repro.runtime.engine.RealParallelEngine`.
@@ -75,10 +90,23 @@ class RuntimeConfig:
                  min_active_workers=1,
                  degrade_cooldown_seconds=1.0,
                  # Transport hardening: reject any frame longer than this
-                 # when reading from a pipe, so one corrupt length field
-                 # cannot make either endpoint allocate gigabytes. The
-                 # offender is treated as a crashed worker.
+                 # when reading from a pipe — and any shm blob a control
+                 # frame names — so one corrupt length field cannot make
+                 # either endpoint allocate gigabytes. The offender is
+                 # treated as a crashed worker.
                  max_frame_bytes=64 * 1024 * 1024,
+                 # State transport: "shm" ships start states and cache
+                 # entries through per-worker shared-memory rings with
+                 # delta compression, leaving only small control frames
+                 # on the pipes; "pipe" is the original inline-payload
+                 # fallback. None follows REPRO_TRANSPORT, defaulting
+                 # to shm where the platform supports it.
+                 transport=None,
+                 # Per-direction ring capacity per worker. Oversized
+                 # blobs (bigger than the whole ring) fall back to
+                 # inline pipe frames; a merely *full* ring is dispatch
+                 # backpressure.
+                 shm_ring_bytes=1 << 20,
                  # Deterministic fault injection: a FaultPlan instance, a
                  # spec string ("seed=42,kill=2,corrupt=1"), or None.
                  # When None, REPRO_FAULT_PLAN supplies a spec.
@@ -98,6 +126,11 @@ class RuntimeConfig:
         self.min_active_workers = min_active_workers
         self.degrade_cooldown_seconds = degrade_cooldown_seconds
         self.max_frame_bytes = max_frame_bytes
+        self.transport = transport or default_transport()
+        if self.transport not in TRANSPORTS:
+            raise ValueError("transport must be one of %s, not %r"
+                             % ("/".join(TRANSPORTS), self.transport))
+        self.shm_ring_bytes = shm_ring_bytes
         self.fault_plan = fault_plan
 
     def resolve_fault_plan(self):

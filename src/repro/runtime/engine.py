@@ -290,8 +290,10 @@ class RealParallelEngine:
                     covered.add(key)
                     stats.speculation_faults += 1
                     stats.speculation_instructions += outcome.instructions
-                # crashed / timed-out: leave uncovered so the target is
-                # re-dispatched (respeculation) if still predicted.
+                # crashed / timed-out / stale (shm epoch mismatch —
+                # the worker never executed the task): leave uncovered
+                # so the target is re-dispatched (respeculation)
+                # against a fresh full snapshot if still predicted.
 
         def dispatch(snapshot, view):
             order = allocator.dispatch_order(mean_jump,

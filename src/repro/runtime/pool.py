@@ -32,6 +32,22 @@ the budget is spent. The engine decides whether to re-speculate; the
 pool only guarantees that every submitted task eventually produces
 exactly one outcome.
 
+Transport — under ``RuntimeConfig.transport == "shm"`` the pool opens
+two :class:`~repro.runtime.shm.ShmRing` segments per worker (task
+ring: engine produces, worker consumes; result ring: the reverse) and
+the pipes carry only small control frames naming ring blobs by
+``(seq, length, CRC32)``. Start states ship delta-compressed against
+the worker's last reconstructed state: the pool tracks, per worker,
+the *base state* it last successfully sent and a monotonically
+increasing *epoch* naming it, commits both only after a successful
+send, and clears them whenever the worker is respawned or answers
+:data:`TASK_STALE` (epoch mismatch) — so the next task automatically
+carries a full snapshot. The pool owns both segments' lifecycles:
+rings are unlinked on crash/respawn, quarantine, retirement, and
+shutdown, and an atexit sweep in :mod:`repro.runtime.shm` reaps
+whatever an unclean exit leaves. ``transport == "pipe"`` keeps the
+original inline-payload frames end to end.
+
 A seeded :class:`~repro.runtime.faults.FaultPlan` (via
 ``RuntimeConfig.fault_plan`` or ``REPRO_FAULT_PLAN``) injects failures
 at these exact seams — dispatch-time kills and deadline overruns,
@@ -41,12 +57,13 @@ above is exercised deterministically by `repro chaos` and the tests.
 
 import itertools
 import multiprocessing
+import os
 import time
 from collections import deque
 from multiprocessing.connection import wait as _conn_wait
 
 from repro.errors import ReproError
-from repro.runtime import wire
+from repro.runtime import shm, wire
 from repro.runtime.config import RuntimeConfig, default_start_method
 from repro.runtime.stats import RuntimeStats
 from repro.runtime.supervisor import RESPAWN, Supervisor
@@ -58,6 +75,7 @@ TASK_OK = "ok"
 TASK_FAILED = "failed"
 TASK_TIMED_OUT = "timed-out"
 TASK_CRASHED = "crashed"
+TASK_STALE = "stale"  # shm epoch mismatch: not executed, re-dispatch
 
 
 class PoolError(ReproError):
@@ -114,13 +132,28 @@ class TaskOutcome:
 
 
 class _Worker:
-    __slots__ = ("index", "proc", "conn", "inflight")
+    __slots__ = ("index", "proc", "conn", "inflight", "task_ring",
+                 "result_ring", "base_state", "epoch")
 
-    def __init__(self, index, proc, conn):
+    def __init__(self, index, proc, conn, task_ring=None, result_ring=None):
         self.index = index
         self.proc = proc
         self.conn = conn
         self.inflight = deque()  # SpeculationTasks, FIFO per worker
+        self.task_ring = task_ring  # engine produces (shm transport)
+        self.result_ring = result_ring  # engine consumes
+        # Delta bookkeeping (engine's view, committed only after a
+        # successful send): the start state this worker last
+        # reconstructed, and the epoch naming it. None/0 means "no
+        # usable base" — the next task ships a full snapshot.
+        self.base_state = None
+        self.epoch = 0
+
+    def close_rings(self):
+        """Unlink both rings (pool-owned; idempotent)."""
+        for ring in (self.task_ring, self.result_ring):
+            if ring is not None:
+                ring.unlink()
 
 
 class WorkerPool:
@@ -145,20 +178,27 @@ class WorkerPool:
         self._task_ids = itertools.count(1)
         self._deferred = []  # outcomes produced outside poll (submit-time)
         self._closed = False
+        self._use_shm = self.config.transport == "shm"
         self._workers = [self._spawn(i) for i in range(self.config.n_workers)]
 
     # -- lifecycle -----------------------------------------------------------
 
     def _spawn(self, index):
+        task_ring = result_ring = shm_names = None
+        if self._use_shm:
+            task_ring = shm.create_ring(self.config.shm_ring_bytes)
+            result_ring = shm.create_ring(self.config.shm_ring_bytes)
+            shm_names = (task_ring.name, result_ring.name)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=worker_main,
             args=(child_conn, self._program_payload, self._fast_path,
-                  self.config.max_frame_bytes),
+                  self.config.max_frame_bytes, shm_names, os.getpid()),
             name="repro-spec-%d" % index, daemon=True)
         proc.start()
         child_conn.close()
-        return _Worker(index, proc, parent_conn)
+        return _Worker(index, proc, parent_conn, task_ring=task_ring,
+                       result_ring=result_ring)
 
     def _live(self):
         return [w for w in self._workers if w is not None]
@@ -187,6 +227,10 @@ class WorkerPool:
         if worker.proc.is_alive():
             worker.proc.kill()
         worker.proc.join(timeout=5.0)
+        # The rings die with the worker: its cursors and delta base are
+        # untrustworthy now, and a respawned worker starts from fresh
+        # segments and a full-snapshot first task.
+        worker.close_rings()
         kind = "timeout" if status == TASK_TIMED_OUT else "crash"
         directive = self.supervisor.note_failure(worker.index, kind)
         if directive == RESPAWN:
@@ -223,11 +267,14 @@ class WorkerPool:
         if self._closed:
             return
         self._closed = True
+        frame = wire.encode_shutdown()
         for worker in self._live():
             try:
-                worker.conn.send_bytes(wire.encode_shutdown())
+                worker.conn.send_bytes(frame)
             except (OSError, ValueError, BrokenPipeError):
-                pass
+                continue
+            self.stats.bytes_sent += len(frame)
+            self.stats.logical_bytes_sent += len(frame)
         deadline = time.monotonic() + 2.0
         for worker in self._live():
             worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
@@ -238,6 +285,7 @@ class WorkerPool:
                 worker.conn.close()
             except OSError:
                 pass
+            worker.close_rings()
 
     def __enter__(self):
         return self
@@ -287,9 +335,8 @@ class WorkerPool:
         if self._closed:
             raise PoolError("submit on a shut-down pool")
         task_id = next(self._task_ids)
-        payload = wire.encode_task(task_id, rip, occurrences,
-                                   max_instructions, start_state,
-                                   flags=wire.FLAG_AUDIT if audit else 0)
+        flags = wire.FLAG_AUDIT if audit else 0
+        state_bytes = bytes(start_state)
         # A worker found dead at dispatch time is failed through the
         # normal supervision path (its outcomes surface on the next
         # poll) and the dispatch retries on whatever is still live.
@@ -302,11 +349,40 @@ class WorkerPool:
             if len(worker.inflight) >= self.config.queue_depth:
                 self.stats.dispatch_backpressure += 1
                 return None
+            if self._use_shm:
+                payload = self._encode_task_shm(worker, task_id, rip,
+                                                occurrences,
+                                                max_instructions,
+                                                state_bytes, flags)
+                if payload is None:
+                    # The least-loaded worker's ring is full: treat it
+                    # like queue-depth backpressure — the engine tries
+                    # again at the next boundary, by which time poll()
+                    # will have drained and released ring space.
+                    self.stats.ring_full_backpressure += 1
+                    self.stats.dispatch_backpressure += 1
+                    return None
+            else:
+                payload = wire.encode_task(task_id, rip, occurrences,
+                                           max_instructions, state_bytes,
+                                           flags=flags)
             try:
                 worker.conn.send_bytes(payload)
             except (OSError, ValueError, BrokenPipeError):
                 self._deferred.extend(self._fail_worker(worker, TASK_CRASHED))
                 continue
+            if self._use_shm:
+                # Commit the delta base only now: a failed send means
+                # the worker never saw the blob, so the old base (or
+                # none, after the respawn above) stays authoritative.
+                worker.base_state = state_bytes
+                worker.epoch += 1
+            else:
+                self.stats.state_bytes_shipped += len(state_bytes)
+                self.stats.states_full += 1
+            self.stats.state_bytes_raw += len(state_bytes)
+            self.stats.logical_bytes_sent += \
+                wire.logical_task_bytes(len(state_bytes))
             task = SpeculationTask(task_id, rip, occurrences,
                                    max_instructions, meta, time.monotonic(),
                                    len(payload), worker.index, audit=audit)
@@ -316,6 +392,30 @@ class WorkerPool:
             self._inject_dispatch_fault(worker, task)
             return task
         return None
+
+    def _encode_task_shm(self, worker, task_id, rip, occurrences,
+                         max_instructions, state_bytes, flags):
+        """Encode one shm-transport task: push the delta blob into the
+        worker's task ring and build the control frame. Returns the
+        frame, or ``None`` when the ring is full (backpressure). A blob
+        the ring can *never* hold travels inline on the pipe instead.
+        """
+        blob = wire.encode_state_delta(state_bytes, base=worker.base_state)
+        seq = None
+        if len(blob) <= worker.task_ring.capacity:
+            seq = worker.task_ring.try_push(blob)
+            if seq is None:
+                return None
+            self.stats.shm_bytes_written += len(blob)
+        if blob[0] == wire.DELTA_SPARSE:
+            self.stats.states_delta += 1
+        else:
+            self.stats.states_full += 1
+        self.stats.state_bytes_shipped += len(blob)
+        return wire.encode_task_shm(task_id, rip, occurrences,
+                                    max_instructions, flags,
+                                    worker.epoch, worker.epoch + 1,
+                                    blob, seq=seq)
 
     def _inject_dispatch_fault(self, worker, task):
         if self.faults is None:
@@ -371,15 +471,22 @@ class WorkerPool:
                 except (EOFError, OSError):
                     outcomes.extend(self._fail_worker(worker, TASK_CRASHED))
                     continue
+                # Physical bytes are counted at the transport boundary,
+                # before fault injection and decoding, so corrupt,
+                # dropped, and rejected frames all count — symmetric
+                # with bytes_sent.
+                self.stats.bytes_received += len(data)
                 data, dropped = self._inject_receive_fault(worker, data,
                                                            outcomes)
                 if dropped:
                     continue
                 try:
                     outcomes.append(self._ingest(worker, data))
-                except wire.WireError:
-                    # Corrupt or protocol-violating frame: the sender
-                    # cannot be trusted any further — worker-crash path.
+                except (wire.WireError, shm.ShmError):
+                    # Corrupt or protocol-violating frame — or a ring
+                    # read that desynced/failed its checksum: the
+                    # sender cannot be trusted any further —
+                    # worker-crash path.
                     self.stats.frames_rejected += 1
                     outcomes.extend(self._fail_worker(worker, TASK_CRASHED))
             if not ready and time.monotonic() >= deadline:
@@ -413,13 +520,48 @@ class WorkerPool:
                 duration=time.monotonic() - task.dispatch_time))
         return data, True
 
+    def _take_result_entry(self, worker, msg):
+        """Materialize an shm result's entry: copy the blob out of the
+        worker's result ring (releasing it) or take the inline bytes,
+        CRC-check, decode. Returns ``(entry, entry_blob_len)``."""
+        if not msg.has_entry:
+            return None, 0
+        if msg.blob_len > self.config.max_frame_bytes:
+            raise wire.WireError("shm entry blob of %d bytes exceeds the "
+                                 "%d-byte limit"
+                                 % (msg.blob_len, self.config.max_frame_bytes))
+        if msg.location == wire.BLOB_SHM:
+            if worker.result_ring is None:
+                raise wire.WireError("shm blob reference without a ring")
+            blob = worker.result_ring.read(msg.seq, msg.blob_len)
+            # Cumulative release: this also reclaims any earlier blob a
+            # dropped control frame left stranded in the ring.
+            worker.result_ring.release(msg.seq + msg.blob_len)
+            self.stats.shm_bytes_read += len(blob)
+        else:
+            blob = msg.blob
+        wire.check_blob(blob, msg.blob_crc)
+        entry, end = wire.decode_entry(blob)
+        if end != len(blob):
+            raise wire.WireError("trailing bytes in shm entry blob")
+        return entry, len(blob)
+
     def _ingest(self, worker, data):
         msg_type, pos = wire.decode_message(data,
                                             self.config.max_frame_bytes)
-        if msg_type != wire.MSG_RESULT:
+        if msg_type == wire.MSG_RESULT:
+            msg = wire.decode_result(data, pos)
+            entry = msg.entry
+            # The pipe frame *is* the logical frame.
+            logical = len(data)
+        elif msg_type == wire.MSG_RESULT_SHM:
+            msg = wire.decode_result_shm(data, pos)
+            entry, entry_len = self._take_result_entry(worker, msg)
+            fault_len = len((msg.fault or "").encode("utf-8"))
+            logical = wire.logical_result_bytes(fault_len, entry_len)
+        else:
             raise wire.WireError("worker %d sent unexpected message type %d"
                                  % (worker.index, msg_type))
-        msg = wire.decode_result(data, pos)
         if not worker.inflight or worker.inflight[0].task_id != msg.task_id:
             raise wire.WireError("worker %d answered task %d out of order"
                                  % (worker.index, msg.task_id))
@@ -427,31 +569,40 @@ class WorkerPool:
         duration = time.monotonic() - task.dispatch_time
         self.supervisor.note_success(worker.index, duration)
         self.stats.tasks_completed += 1
-        self.stats.bytes_received += len(data)
+        self.stats.logical_bytes_received += logical
         self.stats.worker_instructions += msg.instructions
+        if msg.status == wire.RESULT_STALE:
+            # Epoch mismatch: the worker refused a sparse delta it has
+            # no base for (it answered honestly, so this is not a
+            # supervision failure). Clear the engine-side base so the
+            # next task for this worker ships a full snapshot; the
+            # engine re-dispatches the work.
+            self.stats.stale_results += 1
+            worker.base_state = None
+            return TaskOutcome(task, TASK_STALE, duration=duration)
         if task.audit:
             # Audit verdicts bypass the shipped/failed speculation
             # accounting (and fault injection): the auditor owns them.
             status = (TASK_OK if msg.status == wire.RESULT_OK
-                      and msg.entry is not None else TASK_FAILED)
-            return TaskOutcome(task, status, entry=msg.entry,
+                      and entry is not None else TASK_FAILED)
+            return TaskOutcome(task, status, entry=entry,
                                instructions=msg.instructions,
                                halted=msg.halted, fault=msg.fault,
                                duration=duration)
-        if self.faults is not None and msg.entry is not None:
+        if self.faults is not None and entry is not None:
             # Entry-level fault injection: semantically corrupt a
             # CRC-valid entry (the divergence class only the verify
             # subsystem can catch).
             if self.faults.next_entry_fault() == "taint":
-                msg.entry = self.faults.taint_entry(msg.entry)
+                entry = self.faults.taint_entry(entry)
                 self.stats.faults_injected += 1
-        if msg.status == wire.RESULT_OK and msg.entry is not None:
+        if msg.status == wire.RESULT_OK and entry is not None:
             self.stats.entries_shipped += 1
             status = TASK_OK
         else:
             self.stats.tasks_failed += 1
             status = TASK_FAILED
-        return TaskOutcome(task, status, entry=msg.entry,
+        return TaskOutcome(task, status, entry=entry,
                            instructions=msg.instructions, halted=msg.halted,
                            fault=msg.fault, duration=duration)
 

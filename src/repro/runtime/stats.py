@@ -26,8 +26,29 @@ class RuntimeStats:
         self.tasks_timed_out = 0
         self.tasks_crashed = 0
         self.workers_respawned = 0
-        self.bytes_sent = 0  # engine -> workers (tasks)
-        self.bytes_received = 0  # workers -> engine (results)
+        # -- transport accounting --------------------------------------
+        # bytes_sent/bytes_received are *physical pipe bytes*: every
+        # frame actually written to / read from a pipe, in both
+        # directions, on every path (tasks, results, audit verdicts,
+        # rejected/dropped frames, shutdown) — counted once at the
+        # transport boundary so the two directions stay symmetric.
+        self.bytes_sent = 0  # engine -> workers, physical pipe bytes
+        self.bytes_received = 0  # workers -> engine, physical pipe bytes
+        # Logical bytes: what the equivalent inline (pipe-transport)
+        # frames would have carried — the denominator for "how much the
+        # wire was killed".
+        self.logical_bytes_sent = 0
+        self.logical_bytes_received = 0
+        # Bulk bytes moved through shared-memory rings instead of pipes.
+        self.shm_bytes_written = 0  # task blobs pushed by the engine
+        self.shm_bytes_read = 0  # result blobs read by the engine
+        # Delta codec effectiveness on shipped start states.
+        self.states_delta = 0  # start states shipped as sparse deltas
+        self.states_full = 0  # start states shipped as full snapshots
+        self.state_bytes_raw = 0  # raw state-vector bytes (pre-codec)
+        self.state_bytes_shipped = 0  # encoded blob bytes (post-codec)
+        self.ring_full_backpressure = 0  # dispatches skipped: ring full
+        self.stale_results = 0  # epoch-mismatch replies (re-dispatched)
         self.worker_instructions = 0  # really executed on workers
         self.inflight_waits = 0  # boundaries spent waiting on a worker
         self.inflight_wait_seconds = 0.0

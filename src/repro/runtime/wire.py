@@ -15,12 +15,30 @@ crashed worker. Endpoints additionally bound the frame size they will
 read (``RuntimeConfig.max_frame_bytes``) so one corrupt length field
 in the pipe's own framing cannot force a gigabyte allocation.
 
-Three message types exist: a :data:`MSG_TASK` carrying a speculation
-assignment (predicted full start state, recognized IP, occurrence
-budget, instruction budget), a :data:`MSG_RESULT` carrying the outcome
-(instruction count, halt flag, optional fault string, optional
-serialized :class:`~repro.core.trajectory_cache.CacheEntry`), and a
-:data:`MSG_SHUTDOWN`.
+Five message types exist. The pipe transport uses :data:`MSG_TASK`
+(a speculation assignment carrying the predicted full start state
+inline) and :data:`MSG_RESULT` (the outcome: instruction count, halt
+flag, optional fault string, optional serialized
+:class:`~repro.core.trajectory_cache.CacheEntry`). The shm transport
+uses :data:`MSG_TASK_SHM` / :data:`MSG_RESULT_SHM`, whose payload
+blobs (a delta-compressed start state; a serialized entry) normally
+live in a :mod:`repro.runtime.shm` ring and are named here only by a
+``(seq, length, CRC32)`` reference — the frame itself stays tiny.
+Either shm frame can instead carry its blob inline
+(:data:`BLOB_INLINE`) when the ring cannot ever fit it; the codec is
+identical either way. :data:`MSG_SHUTDOWN` is shared.
+
+The delta codec (:func:`encode_state_delta` / :func:`decode_state_delta`)
+is how the engine avoids shipping a full machine state per task — the
+paper broadcasts delta-compressed states to query its distributed
+cache for the same reason. Each worker's last reconstructed state is
+the implicit dictionary: a task ships only the bytes that differ from
+it (sparse index/value pairs), falling back to a full snapshot when
+the delta would not pay, on first contact, and after a respawn. A
+monotonically increasing *epoch* names each base state; a worker that
+receives a sparse delta against an epoch it does not hold answers
+:data:`RESULT_STALE` instead of guessing, and the engine re-dispatches
+against a fresh full snapshot.
 
 Design rules: fixed-width little-endian structs plus raw numpy array
 bytes — nothing on the wire is ever unpickled, so a compromised or
@@ -40,7 +58,7 @@ from repro.core.trajectory_cache import CacheEntry
 from repro.errors import ReproError
 
 WIRE_MAGIC = b"ASCP"
-WIRE_VERSION = 3
+WIRE_VERSION = 4
 
 #: Default ceiling on a single frame; RuntimeConfig can override.
 DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -48,6 +66,11 @@ DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
 MSG_TASK = 1
 MSG_RESULT = 2
 MSG_SHUTDOWN = 3
+MSG_TASK_SHM = 4
+MSG_RESULT_SHM = 5
+
+_MSG_TYPES = frozenset((MSG_TASK, MSG_RESULT, MSG_SHUTDOWN, MSG_TASK_SHM,
+                        MSG_RESULT_SHM))
 
 #: Task flags (bitmask).
 FLAG_AUDIT = 1  # replay exactly ``max_instructions`` steps, reference tier
@@ -57,6 +80,15 @@ RESULT_OK = 0  # a usable cache entry is attached
 RESULT_FAULT = 1  # the predicted state faulted (no entry)
 RESULT_BUDGET = 2  # wandering budget exhausted mid-superstep (no entry)
 RESULT_EMPTY = 3  # zero instructions executed (e.g. already halted)
+RESULT_STALE = 4  # epoch mismatch: delta base unknown, task not executed
+
+#: Where an shm frame's payload blob lives.
+BLOB_SHM = 0  # in the sender's ring, at (seq, length)
+BLOB_INLINE = 1  # appended to the control frame (ring could not fit it)
+
+#: State-delta blob kinds (first byte of every state blob).
+DELTA_FULL = 0  # raw full state vector follows
+DELTA_SPARSE = 1  # sparse (index, value) pairs against the base state
 
 _HEADER = struct.Struct("<4sHBI")  # magic, version, type, payload CRC32
 _TASK = struct.Struct("<QIIQBI")  # task_id, rip, occurrences, budget,
@@ -65,6 +97,12 @@ _RESULT = struct.Struct("<QBQBBH")  # task_id, status, instructions,
 #                                     halted, has_entry, fault_len
 _ENTRY = struct.Struct("<IQIBII")  # rip, length, occurrences, halted,
 #                                    n_start, n_end
+_DELTA = struct.Struct("<BI")  # kind, count (sparse) / length (full)
+_BLOBREF = struct.Struct("<BQII")  # location, seq, length, CRC32
+_TASK_SHM = struct.Struct("<QIIQBII")  # task_id, rip, occurrences,
+#                                         budget, flags, base_epoch, epoch
+_RESULT_SHM = struct.Struct("<QBQBBH")  # task_id, status, instructions,
+#                                          halted, has_entry, fault_len
 
 
 class WireError(ReproError):
@@ -100,6 +138,112 @@ class ResultMessage:
         self.halted = halted
         self.fault = fault
         self.entry = entry  # CacheEntry or None
+
+
+class TaskRefMessage:
+    """Decoded :data:`MSG_TASK_SHM` payload: a task whose start-state
+    blob lives in the task ring (or inline when the ring cannot hold
+    it). ``blob`` is the inline bytes or ``None``."""
+
+    __slots__ = ("task_id", "rip", "occurrences", "max_instructions",
+                 "flags", "base_epoch", "epoch", "location", "seq",
+                 "blob_len", "blob_crc", "blob")
+
+    def __init__(self, task_id, rip, occurrences, max_instructions, flags,
+                 base_epoch, epoch, location, seq, blob_len, blob_crc,
+                 blob=None):
+        self.task_id = task_id
+        self.rip = rip
+        self.occurrences = occurrences
+        self.max_instructions = max_instructions
+        self.flags = flags
+        self.base_epoch = base_epoch  # epoch the delta was encoded against
+        self.epoch = epoch  # epoch the reconstructed state will carry
+        self.location = location  # BLOB_SHM or BLOB_INLINE
+        self.seq = seq
+        self.blob_len = blob_len
+        self.blob_crc = blob_crc
+        self.blob = blob
+
+
+class ResultRefMessage:
+    """Decoded :data:`MSG_RESULT_SHM` payload; the entry blob (if any)
+    lives in the result ring or inline."""
+
+    __slots__ = ("task_id", "status", "instructions", "halted", "fault",
+                 "has_entry", "location", "seq", "blob_len", "blob_crc",
+                 "blob")
+
+    def __init__(self, task_id, status, instructions, halted, fault,
+                 has_entry, location, seq, blob_len, blob_crc, blob=None):
+        self.task_id = task_id
+        self.status = status
+        self.instructions = instructions
+        self.halted = halted
+        self.fault = fault
+        self.has_entry = has_entry
+        self.location = location
+        self.seq = seq
+        self.blob_len = blob_len
+        self.blob_crc = blob_crc
+        self.blob = blob
+
+
+# -- state delta codec -------------------------------------------------------
+
+def encode_state_delta(state, base=None):
+    """Encode ``state`` against ``base`` (the receiver's last-seen
+    state). Returns the blob; its first byte is :data:`DELTA_FULL` or
+    :data:`DELTA_SPARSE`. Falls back to a full snapshot when there is
+    no usable base or the sparse form would not be smaller."""
+    state = bytes(state)
+    if base is not None and len(base) == len(state):
+        new = np.frombuffer(state, dtype=np.uint8)
+        old = np.frombuffer(base, dtype=np.uint8)
+        changed = np.nonzero(new != old)[0]
+        # 5 bytes per changed byte (u32 index + u8 value); only ship
+        # sparse when it beats the raw state.
+        if 5 * len(changed) < len(state):
+            return (_DELTA.pack(DELTA_SPARSE, len(changed))
+                    + changed.astype("<u4").tobytes()
+                    + new[changed].tobytes())
+    return _DELTA.pack(DELTA_FULL, len(state)) + state
+
+
+def decode_state_delta(blob, base=None, expected_len=None):
+    """Inverse of :func:`encode_state_delta`: reconstruct the full
+    state. Sparse blobs require ``base``; a missing or wrong-length
+    base is the *caller's* epoch bookkeeping failing, reported as
+    :class:`WireError` so the transport treats it as corruption."""
+    if len(blob) < _DELTA.size:
+        raise WireError("truncated state-delta header")
+    kind, count = _DELTA.unpack_from(blob, 0)
+    pos = _DELTA.size
+    if kind == DELTA_FULL:
+        if pos + count != len(blob):
+            raise WireError("full-state delta length mismatch")
+        if expected_len is not None and count != expected_len:
+            raise WireError("full state is %d bytes, expected %d"
+                            % (count, expected_len))
+        return blob[pos:]
+    if kind != DELTA_SPARSE:
+        raise WireError("unknown state-delta kind %d" % kind)
+    if base is None:
+        raise WireError("sparse state delta without a base state")
+    if expected_len is not None and len(base) != expected_len:
+        raise WireError("delta base is %d bytes, expected %d"
+                        % (len(base), expected_len))
+    if pos + 5 * count != len(blob):
+        raise WireError("truncated sparse state delta")
+    indices = np.frombuffer(blob, dtype="<u4", count=count, offset=pos)
+    pos += 4 * count
+    values = np.frombuffer(blob, dtype=np.uint8, count=count, offset=pos)
+    state = np.frombuffer(base, dtype=np.uint8).copy()
+    if count:
+        if int(indices.max()) >= len(state):
+            raise WireError("sparse delta index beyond state vector")
+        state[indices] = values
+    return state.tobytes()
 
 
 # -- entries -----------------------------------------------------------------
@@ -165,7 +309,7 @@ def decode_message(data, max_frame_bytes=None):
     if version != WIRE_VERSION:
         raise WireError("wire version %d, this endpoint speaks %d"
                         % (version, WIRE_VERSION))
-    if msg_type not in (MSG_TASK, MSG_RESULT, MSG_SHUTDOWN):
+    if msg_type not in _MSG_TYPES:
         raise WireError("unknown message type %d" % msg_type)
     if zlib.crc32(data[_HEADER.size:]) & 0xFFFFFFFF != crc:
         raise WireError("frame payload failed its checksum")
@@ -191,16 +335,21 @@ def decode_task(data, pos):
                        bytes(data[pos:pos + state_len]), flags=flags)
 
 
+def result_status(result):
+    """Map a :class:`~repro.core.speculation.SpeculationResult` to its
+    wire status code (shared by both transports)."""
+    if result.fault is not None:
+        return RESULT_FAULT
+    if result.entry is not None:
+        return RESULT_OK
+    if result.instructions == 0:
+        return RESULT_EMPTY
+    return RESULT_BUDGET
+
+
 def encode_result(task_id, result):
     """Encode a :class:`~repro.core.speculation.SpeculationResult`."""
-    if result.fault is not None:
-        status = RESULT_FAULT
-    elif result.entry is not None:
-        status = RESULT_OK
-    elif result.instructions == 0:
-        status = RESULT_EMPTY
-    else:
-        status = RESULT_BUDGET
+    status = result_status(result)
     fault = (result.fault or "").encode("utf-8")[:65535]
     entry_blob = b"" if result.entry is None else encode_entry(result.entry)
     payload = _RESULT.pack(task_id, status, result.instructions,
@@ -231,3 +380,113 @@ def decode_result(data, pos):
 
 def encode_shutdown():
     return _frame(MSG_SHUTDOWN, b"")
+
+
+# -- shm control messages ----------------------------------------------------
+
+def _blobref(blob, seq):
+    """Pack one blob reference; ``seq is None`` means inline."""
+    crc = zlib.crc32(blob) & 0xFFFFFFFF if blob is not None else 0
+    length = len(blob) if blob is not None else 0
+    if seq is None:
+        return _BLOBREF.pack(BLOB_INLINE, 0, length, crc), blob or b""
+    return _BLOBREF.pack(BLOB_SHM, seq, length, crc), b""
+
+
+def encode_task_shm(task_id, rip, occurrences, max_instructions, flags,
+                    base_epoch, epoch, blob, seq=None):
+    """Control frame for one shm-transport task. ``blob`` is the
+    state-delta blob (:func:`encode_state_delta`); ``seq`` its ring
+    sequence, or ``None`` to carry it inline."""
+    ref, inline = _blobref(blob, seq)
+    payload = _TASK_SHM.pack(task_id, rip, occurrences, max_instructions,
+                             flags, base_epoch, epoch) + ref + inline
+    return _frame(MSG_TASK_SHM, payload)
+
+
+def decode_task_shm(data, pos):
+    if pos + _TASK_SHM.size + _BLOBREF.size > len(data):
+        raise WireError("truncated shm task header")
+    task_id, rip, occurrences, budget, flags, base_epoch, epoch = \
+        _TASK_SHM.unpack_from(data, pos)
+    pos += _TASK_SHM.size
+    location, seq, blob_len, blob_crc = _BLOBREF.unpack_from(data, pos)
+    pos += _BLOBREF.size
+    if location not in (BLOB_SHM, BLOB_INLINE):
+        raise WireError("unknown blob location %d" % location)
+    blob = None
+    if location == BLOB_INLINE:
+        if pos + blob_len != len(data):
+            raise WireError("inline task blob length mismatch")
+        blob = bytes(data[pos:pos + blob_len])
+        pos += blob_len
+    if pos != len(data):
+        raise WireError("trailing bytes in shm task message")
+    return TaskRefMessage(task_id, rip, occurrences, budget, flags,
+                          base_epoch, epoch, location, seq, blob_len,
+                          blob_crc, blob=blob)
+
+
+def encode_result_shm(task_id, status, instructions, halted, fault,
+                      blob=None, seq=None):
+    """Control frame for one shm-transport result. ``blob`` is the
+    serialized entry (:func:`encode_entry`) or ``None``; ``seq`` its
+    ring sequence, or ``None`` to carry it inline."""
+    fault_bytes = (fault or "").encode("utf-8")[:65535]
+    ref, inline = _blobref(blob, seq)
+    payload = (_RESULT_SHM.pack(task_id, status, instructions,
+                                1 if halted else 0,
+                                1 if blob is not None else 0,
+                                len(fault_bytes))
+               + fault_bytes + ref + inline)
+    return _frame(MSG_RESULT_SHM, payload)
+
+
+def decode_result_shm(data, pos):
+    if pos + _RESULT_SHM.size > len(data):
+        raise WireError("truncated shm result header")
+    task_id, status, instructions, halted, has_entry, fault_len = \
+        _RESULT_SHM.unpack_from(data, pos)
+    pos += _RESULT_SHM.size
+    if pos + fault_len + _BLOBREF.size > len(data):
+        raise WireError("truncated shm result fault/ref")
+    fault = data[pos:pos + fault_len].decode("utf-8") if fault_len else None
+    pos += fault_len
+    location, seq, blob_len, blob_crc = _BLOBREF.unpack_from(data, pos)
+    pos += _BLOBREF.size
+    if location not in (BLOB_SHM, BLOB_INLINE):
+        raise WireError("unknown blob location %d" % location)
+    if has_entry and blob_len == 0:
+        raise WireError("shm result claims an entry but names no blob")
+    blob = None
+    if location == BLOB_INLINE and has_entry:
+        if pos + blob_len != len(data):
+            raise WireError("inline result blob length mismatch")
+        blob = bytes(data[pos:pos + blob_len])
+        pos += blob_len
+    if pos != len(data):
+        raise WireError("trailing bytes in shm result message")
+    return ResultRefMessage(task_id, status, instructions, bool(halted),
+                            fault, bool(has_entry), location, seq,
+                            blob_len, blob_crc, blob=blob)
+
+
+def logical_task_bytes(state_len):
+    """Size of the inline :data:`MSG_TASK` frame the pipe transport
+    would have sent for a state of ``state_len`` bytes — the logical
+    baseline the shm transport is measured against."""
+    return _HEADER.size + _TASK.size + state_len
+
+
+def logical_result_bytes(fault_len, entry_len):
+    """Size of the inline :data:`MSG_RESULT` frame the pipe transport
+    would have sent for this fault string and entry blob."""
+    return _HEADER.size + _RESULT.size + fault_len + entry_len
+
+
+def check_blob(blob, crc):
+    """Validate a blob read out of a ring against its control-frame
+    CRC; corruption or ring desync surfaces as :class:`WireError`."""
+    if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+        raise WireError("shm blob failed its checksum")
+    return blob

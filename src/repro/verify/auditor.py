@@ -42,6 +42,7 @@ from repro.verify.incidents import make_incident
 _TASK_OK = "ok"
 _TASK_CRASHED = "crashed"
 _TASK_TIMED_OUT = "timed-out"
+_TASK_STALE = "stale"
 
 #: ``task.meta[0]`` marker for audit tasks in flight.
 AUDIT_META = "__audit__"
@@ -169,7 +170,10 @@ class SpliceAuditor:
         pending = self._pending.pop(splice_id, None)
         if pending is None:
             return True  # duplicate/late verdict; already resolved
-        if outcome.status in (_TASK_CRASHED, _TASK_TIMED_OUT):
+        if outcome.status in (_TASK_CRASHED, _TASK_TIMED_OUT, _TASK_STALE):
+            # Stale is the shm transport refusing an epoch-mismatched
+            # delta — the audit never executed, which is a *lost* audit
+            # like a crash, emphatically not a divergence verdict.
             self.lost += 1
             if self._sink is not None:
                 self._sink.audits_lost += 1

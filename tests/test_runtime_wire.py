@@ -208,3 +208,178 @@ class TestHeaderValidation:
         blob = wire.encode_task(1, 2, 3, 4, b"\x00" * 256)
         with pytest.raises(wire.WireError, match="exceeds"):
             wire.decode_message(blob, max_frame_bytes=64)
+
+
+@st.composite
+def state_pairs(draw, max_len=2048):
+    """A base state and a new state differing at a random sparse set of
+    positions (possibly empty = identical, possibly dense)."""
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    base = draw(st.binary(min_size=length, max_size=length))
+    n = draw(st.integers(min_value=0, max_value=length))
+    positions = draw(st.lists(st.integers(min_value=0,
+                                          max_value=length - 1),
+                              min_size=n, max_size=n, unique=True))
+    state = bytearray(base)
+    for pos in positions:
+        state[pos] ^= draw(st.integers(min_value=1, max_value=255))
+    return base, bytes(state)
+
+
+class TestStateDeltaCodec:
+    @settings(max_examples=100, deadline=None)
+    @given(state_pairs())
+    def test_round_trip_against_base(self, pair):
+        base, state = pair
+        blob = wire.encode_state_delta(state, base=base)
+        assert wire.decode_state_delta(blob, base=base,
+                                       expected_len=len(state)) == state
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(min_size=0, max_size=2048))
+    def test_round_trip_without_base_is_full(self, state):
+        blob = wire.encode_state_delta(state)
+        assert blob[0] == wire.DELTA_FULL
+        assert wire.decode_state_delta(blob) == state
+
+    def test_empty_diff_is_tiny(self):
+        state = b"\x5a" * 4096
+        blob = wire.encode_state_delta(state, base=state)
+        assert blob[0] == wire.DELTA_SPARSE
+        assert len(blob) < 16
+        assert wire.decode_state_delta(blob, base=state) == state
+
+    def test_dense_diff_falls_back_to_full(self):
+        base = b"\x00" * 256
+        state = b"\xff" * 256
+        blob = wire.encode_state_delta(state, base=base)
+        assert blob[0] == wire.DELTA_FULL
+        assert wire.decode_state_delta(blob, base=base) == state
+
+    def test_wrong_length_base_ships_full(self):
+        state = b"\xab" * 128
+        blob = wire.encode_state_delta(state, base=b"\xab" * 64)
+        assert blob[0] == wire.DELTA_FULL
+
+    def test_sparse_without_base_rejected(self):
+        base = b"\x00" * 64
+        state = b"\x00" * 32 + b"\x01" + b"\x00" * 31
+        blob = wire.encode_state_delta(state, base=base)
+        assert blob[0] == wire.DELTA_SPARSE
+        with pytest.raises(wire.WireError, match="without a base"):
+            wire.decode_state_delta(blob)
+
+    def test_wrong_base_length_rejected(self):
+        base = b"\x00" * 64
+        state = b"\x00" * 63 + b"\x01"
+        blob = wire.encode_state_delta(state, base=base)
+        with pytest.raises(wire.WireError, match="expected"):
+            wire.decode_state_delta(blob, base=base, expected_len=128)
+
+    @settings(max_examples=30, deadline=None)
+    @given(state_pairs(), st.data())
+    def test_truncation_rejected(self, pair, data):
+        base, state = pair
+        blob = wire.encode_state_delta(state, base=base)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        with pytest.raises(wire.WireError):
+            wire.decode_state_delta(blob[:cut], base=base)
+
+    def test_unknown_kind_rejected(self):
+        import struct
+        blob = struct.pack("<BI", 9, 0)
+        with pytest.raises(wire.WireError, match="kind"):
+            wire.decode_state_delta(blob)
+
+    def test_out_of_bounds_index_rejected(self):
+        import struct
+        blob = (struct.pack("<BI", wire.DELTA_SPARSE, 1)
+                + struct.pack("<I", 64) + b"\x01")
+        with pytest.raises(wire.WireError, match="beyond"):
+            wire.decode_state_delta(blob, base=b"\x00" * 64)
+
+
+class TestShmControlFrames:
+    def test_task_ring_ref_round_trip(self):
+        blob = wire.encode_state_delta(b"\xaa" * 100)
+        frame = wire.encode_task_shm(11, 0x40, 3, 9999, 0, 4, 5, blob,
+                                     seq=1234)
+        msg_type, pos = wire.decode_message(frame)
+        assert msg_type == wire.MSG_TASK_SHM
+        msg = wire.decode_task_shm(frame, pos)
+        assert (msg.task_id, msg.rip, msg.occurrences,
+                msg.max_instructions) == (11, 0x40, 3, 9999)
+        assert (msg.base_epoch, msg.epoch) == (4, 5)
+        assert msg.location == wire.BLOB_SHM
+        assert (msg.seq, msg.blob_len) == (1234, len(blob))
+        assert msg.blob is None
+        assert wire.check_blob(blob, msg.blob_crc) == blob
+        # The control frame must stay small — that is the whole point.
+        assert len(frame) < 128
+
+    def test_task_inline_round_trip(self):
+        blob = wire.encode_state_delta(b"\x07" * 32)
+        frame = wire.encode_task_shm(1, 2, 3, 4, wire.FLAG_AUDIT, 0, 1,
+                                     blob, seq=None)
+        __, pos = wire.decode_message(frame)
+        msg = wire.decode_task_shm(frame, pos)
+        assert msg.location == wire.BLOB_INLINE
+        assert msg.blob == blob
+        assert msg.flags == wire.FLAG_AUDIT
+        assert wire.check_blob(msg.blob, msg.blob_crc) == blob
+
+    def test_result_ring_ref_round_trip(self):
+        entry_blob = b"\x42" * 77
+        frame = wire.encode_result_shm(9, wire.RESULT_OK, 555, True, None,
+                                       blob=entry_blob, seq=4096)
+        msg_type, pos = wire.decode_message(frame)
+        assert msg_type == wire.MSG_RESULT_SHM
+        msg = wire.decode_result_shm(frame, pos)
+        assert (msg.task_id, msg.status, msg.instructions, msg.halted) == \
+            (9, wire.RESULT_OK, 555, True)
+        assert msg.has_entry
+        assert msg.location == wire.BLOB_SHM
+        assert (msg.seq, msg.blob_len) == (4096, len(entry_blob))
+        assert wire.check_blob(entry_blob, msg.blob_crc) == entry_blob
+
+    def test_stale_result_round_trip(self):
+        frame = wire.encode_result_shm(3, wire.RESULT_STALE, 0, False, None)
+        __, pos = wire.decode_message(frame)
+        msg = wire.decode_result_shm(frame, pos)
+        assert msg.status == wire.RESULT_STALE
+        assert not msg.has_entry
+
+    def test_fault_result_round_trip(self):
+        frame = wire.encode_result_shm(4, wire.RESULT_FAULT, 10, False,
+                                       "div by zero")
+        __, pos = wire.decode_message(frame)
+        msg = wire.decode_result_shm(frame, pos)
+        assert msg.fault == "div by zero"
+        assert not msg.has_entry
+        assert msg.blob_len == 0
+
+    def test_truncated_shm_frames_rejected(self):
+        blob = wire.encode_state_delta(b"\x01" * 16)
+        task = wire.encode_task_shm(1, 2, 3, 4, 0, 0, 1, blob, seq=None)
+        __, pos = wire.decode_message(task)
+        with pytest.raises(wire.WireError):
+            wire.decode_task_shm(task[:-1], pos)
+        with pytest.raises(wire.WireError):
+            wire.decode_task_shm(task + b"\x00", pos)
+        result = wire.encode_result_shm(1, wire.RESULT_OK, 5, False, None,
+                                        blob=blob, seq=None)
+        __, pos = wire.decode_message(result)
+        with pytest.raises(wire.WireError):
+            wire.decode_result_shm(result[:-1], pos)
+        with pytest.raises(wire.WireError):
+            wire.decode_result_shm(result + b"\x00", pos)
+
+    def test_corrupt_blob_fails_check(self):
+        blob = wire.encode_state_delta(b"\xcc" * 64)
+        frame = wire.encode_task_shm(1, 2, 3, 4, 0, 0, 1, blob, seq=7)
+        __, pos = wire.decode_message(frame)
+        msg = wire.decode_task_shm(frame, pos)
+        mutated = bytearray(blob)
+        mutated[10] ^= 0x01
+        with pytest.raises(wire.WireError, match="checksum"):
+            wire.check_blob(bytes(mutated), msg.blob_crc)
