@@ -1,0 +1,182 @@
+"""Speculation-as-a-service: warm daemon vs cold daemon vs one-shot.
+
+The daemon's whole thesis is amortization — worker pools, recognizer
+output, and the trajectory cache all survive between submissions, so a
+*re*-submission should pay none of the startup taxes a one-shot
+``repro run`` pays every time. Three legs per workload, all real
+wall-clock through the real unix-socket protocol:
+
+* **oneshot** — a fresh ``RealParallelEngine`` with a fresh pool and an
+  empty cache, the ``repro run --backend real`` shape (the baseline a
+  daemon must beat on re-submission);
+* **cold submit** — first submission of the image to a fresh daemon:
+  pays pool spawn + recognition + an empty namespace, plus the protocol
+  round trips;
+* **warm submit** — the same image submitted again: warm pool, cached
+  recognition, and a populated namespace shard. Time-to-first-splice
+  (``first_splice_seconds``, measured inside the engine) is the
+  headline: how long until the shared cache first pays off.
+
+Every leg asserts byte-identical finals against sequential. Metrics
+land in ``results/BENCH_serve.json``; the acceptance bar is
+``collatz_warm_first_splice_seconds`` < ``collatz_cold_first_splice_seconds``
+and warm wall beating cold wall.
+"""
+
+import base64
+import time
+
+from conftest import PROFILE, publish, publish_metrics
+
+from repro.bench import build_collatz, build_ising
+from repro.core.config import EngineConfig
+from repro.runtime import RealParallelEngine, RuntimeConfig
+from repro.serve import ServeClient, ServeConfig, SpeculationDaemon
+
+_SIZES = {
+    "full": dict(collatz_count=4000, ising_nodes=128, ising_spins=6,
+                 workers=2, resubmits=3),
+    "quick": dict(collatz_count=1500, ising_nodes=64, ising_spins=5,
+                  workers=2, resubmits=2),
+}
+SIZES = _SIZES["quick" if PROFILE == "quick" else "full"]
+
+#: Filled by the workload tests, consumed by test_publish_serve_json
+#: (tests in this module run in definition order under pytest).
+_RECORDED = {}
+
+
+def _engine_overrides(config):
+    defaults = EngineConfig().__dict__
+    return {key: (list(value) if isinstance(value, tuple) else value)
+            for key, value in config.__dict__.items()
+            if defaults.get(key) != value}
+
+
+def _sequential(program):
+    machine = program.make_machine()
+    start = time.perf_counter()
+    machine.run(max_instructions=500_000_000)
+    wall = time.perf_counter() - start
+    assert machine.halted
+    return wall, bytes(machine.state.buf)
+
+
+def _oneshot(workload, n_workers):
+    """The no-daemon baseline: everything cold, including pool spawn."""
+    start = time.perf_counter()
+    engine = RealParallelEngine(
+        workload.program, config=workload.config,
+        runtime_config=RuntimeConfig(n_workers=n_workers,
+                                     inflight_wait_bias=1e9))
+    result = engine.run()
+    wall = time.perf_counter() - start
+    assert result.halted
+    return wall, result
+
+
+def _submit(client, workload):
+    """One submission through the real protocol; returns (wall, result).
+
+    Wall is measured around the whole client interaction — submit,
+    poll, fetch — because that is what a daemon user experiences.
+    """
+    start = time.perf_counter()
+    result = client.run(workload.program,
+                        engine=_engine_overrides(workload.config),
+                        inflight_wait_bias=1e9)
+    wall = time.perf_counter() - start
+    assert result["halted"]
+    return wall, result
+
+
+def _bench_workload(name, workload, tmp_path):
+    seq_wall, expected = _sequential(workload.program)
+
+    oneshot_wall, oneshot_result = _oneshot(workload, SIZES["workers"])
+    assert oneshot_result.final_state == expected
+
+    config = ServeConfig(socket_path=str(tmp_path / (name + ".sock")),
+                         cache_dir=str(tmp_path / (name + "-cache")),
+                         worker_budget=SIZES["workers"],
+                         workers_per_job=SIZES["workers"])
+    with SpeculationDaemon(config).start() as daemon:
+        with ServeClient(config.socket_path, client="bench") as client:
+            cold_wall, cold = _submit(client, workload)
+            assert base64.b64decode(cold["final_state"]) == expected
+            warm_walls, warm_results = [], []
+            for __ in range(SIZES["resubmits"]):
+                wall, warm = _submit(client, workload)
+                assert base64.b64decode(warm["final_state"]) == expected
+                warm_walls.append(wall)
+                warm_results.append(warm)
+        daemon.close()
+
+    best_warm = min(warm_walls)
+    warm = warm_results[warm_walls.index(best_warm)]
+    record = {
+        "sequential_wall_seconds": seq_wall,
+        "oneshot_wall_seconds": oneshot_wall,
+        "oneshot_first_splice_seconds":
+            oneshot_result.stats.first_splice_seconds,
+        "cold_wall_seconds": cold_wall,
+        "cold_first_splice_seconds": cold["first_splice_seconds"],
+        "cold_warm_entries": cold["warm_entries"],
+        "warm_wall_seconds": best_warm,
+        "warm_first_splice_seconds": warm["first_splice_seconds"],
+        "warm_entries": warm["warm_entries"],
+        "warm_hits": warm["hits"],
+        "warm_vs_cold_speedup": cold_wall / best_warm if best_warm else 0.0,
+        "warm_vs_oneshot_speedup":
+            oneshot_wall / best_warm if best_warm else 0.0,
+    }
+    _RECORDED[name] = record
+
+    def fmt(seconds):
+        return "-" if seconds is None else "%.4f" % seconds
+
+    lines = [
+        "%s: repro serve warm-start (%d workers, %d resubmits)"
+        % (name, SIZES["workers"], SIZES["resubmits"]),
+        "  sequential        %.3fs wall" % seq_wall,
+        "  oneshot (cold)    %.3fs wall, first splice %s"
+        % (oneshot_wall, fmt(record["oneshot_first_splice_seconds"])),
+        "  daemon cold       %.3fs wall, first splice %s, 0 warm entries"
+        % (cold_wall, fmt(record["cold_first_splice_seconds"])),
+        "  daemon warm       %.3fs wall, first splice %s, %d warm entries,"
+        " %d hits" % (best_warm, fmt(record["warm_first_splice_seconds"]),
+                      warm["warm_entries"], warm["hits"]),
+        "  warm vs cold      %.2fx" % record["warm_vs_cold_speedup"],
+        "  warm vs oneshot   %.2fx" % record["warm_vs_oneshot_speedup"],
+    ]
+    publish("serve_" + name, "\n".join(lines))
+
+    # The tentpole's measurable claim: a warm namespace splices sooner
+    # than a cold one, and re-submission beats first submission.
+    assert warm["warm_entries"] > 0
+    assert warm["hits"] > 0
+    if record["warm_first_splice_seconds"] is not None \
+            and record["cold_first_splice_seconds"] is not None:
+        assert (record["warm_first_splice_seconds"]
+                < record["cold_first_splice_seconds"])
+    assert best_warm < cold_wall
+
+
+def test_serve_collatz(tmp_path):
+    _bench_workload("collatz",
+                    build_collatz(count=SIZES["collatz_count"]), tmp_path)
+
+
+def test_serve_ising(tmp_path):
+    _bench_workload("ising",
+                    build_ising(nodes=SIZES["ising_nodes"],
+                                spins=SIZES["ising_spins"]), tmp_path)
+
+
+def test_publish_serve_json():
+    assert _RECORDED, "workload benches must run first"
+    metrics = {"profile": PROFILE, "workers": SIZES["workers"]}
+    for name, record in _RECORDED.items():
+        for key, value in record.items():
+            metrics["%s_%s" % (name, key)] = value
+    publish_metrics("serve", metrics)

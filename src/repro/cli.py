@@ -9,6 +9,9 @@ Usage (also available as ``python -m repro``)::
     repro scale kernel.c --cores 4,16,32 --platform server32
     repro memoize kernel.c
     repro chaos collatz --seed 42 --kills 2 --timeouts 2 --corrupts 1
+    repro serve --cache-dir ~/.cache/repro --worker-budget 8
+    repro submit kernel.c --global result
+    repro jobs --json
 
 Input files ending in ``.c`` are compiled as Mini-C, ``.s``/``.asm`` are
 assembled, and ``.json`` loads a previously saved program image.
@@ -581,6 +584,221 @@ def cmd_audit(args):
     return 0 if clean else 1
 
 
+def _serve_config(args):
+    from repro.serve import ServeConfig
+    return ServeConfig(
+        socket_path=args.socket,
+        worker_budget=args.worker_budget,
+        workers_per_job=args.workers_per_job,
+        max_concurrent_jobs=args.max_jobs,
+        max_running_per_client=args.max_running_per_client,
+        max_queued_per_client=args.max_queued_per_client,
+        cache_dir=args.cache_dir,
+        flush_every_jobs=args.flush_every,
+        drain_seconds=args.drain_seconds,
+        max_instructions=args.max_instructions,
+        task_timeout_seconds=args.task_timeout,
+        transport=getattr(args, "transport", None))
+
+
+def cmd_serve(args):
+    """Run (or stop) the resident speculation daemon."""
+    import signal
+
+    from repro.serve import (ServeClient, ServeClientError, ServeError,
+                             SpeculationDaemon)
+
+    if args.stop:
+        try:
+            with ServeClient(socket_path=args.socket) as client:
+                client.shutdown(drain=not args.no_drain)
+        except ServeClientError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        print("shutdown requested")
+        return 0
+
+    daemon = SpeculationDaemon(_serve_config(args))
+    # SIGTERM drains; a second SIGTERM escalates to an immediate
+    # cancel. Both land in the same idempotent close() path.
+    handler = lambda signum, frame: daemon.request_stop()  # noqa: E731
+    signal.signal(signal.SIGTERM, handler)
+    signal.signal(signal.SIGINT, handler)
+    try:
+        daemon.start()
+    except ServeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    cache = ("cache %s" % daemon.config.cache_dir
+             if daemon.config.cache_dir else "cache in memory")
+    print("repro serve: listening on %s (%d-worker budget, %s, "
+          "%d warm entries)"
+          % (daemon.config.socket_path, daemon.config.worker_budget, cache,
+             daemon.store.stats_dict()["total_entries"]))
+    sys.stdout.flush()
+    daemon.serve_forever()
+    print("repro serve: stopped (%d done, %d failed, %d cancelled)"
+          % (daemon.jobs_done, daemon.jobs_failed, daemon.jobs_cancelled))
+    return 0
+
+
+def _submit_target(args):
+    """Resolve a submit target to (program, engine-config overrides).
+
+    The daemon rebuilds ``EngineConfig`` from the overrides dict, so
+    builtins run with the same tuned config ``repro chaos`` gives them
+    and files honor --window/--min-superstep/--hints.
+    """
+    target = args.target
+    if target in _CHAOS_BUILTINS:
+        program, config = _chaos_workload(args)
+    else:
+        program = load_program(target)
+        config = _engine_config(args)
+    defaults = EngineConfig().__dict__
+    overrides = {}
+    for key, value in config.__dict__.items():
+        if defaults.get(key) != value:
+            overrides[key] = list(value) if isinstance(value, tuple) \
+                else value
+    return program, overrides
+
+
+def cmd_submit(args):
+    """Submit a program to the daemon; by default wait for the result."""
+    import base64
+
+    from repro.machine.state import StateVector
+    from repro.serve import ServeClient, ServeClientError
+
+    program, engine_overrides = _submit_target(args)
+    options = {"max_instructions": args.max_instructions}
+    if args.workers:
+        options["workers"] = args.workers
+    if args.superstep_scale != 1:
+        options["superstep_scale"] = args.superstep_scale
+    if getattr(args, "transport", None):
+        options["transport"] = args.transport
+    if args.wait_bias is not None:
+        options["inflight_wait_bias"] = args.wait_bias
+    if getattr(args, "strict_verify", False):
+        options["strict_verify"] = True
+    if getattr(args, "verify_rate", None) is not None:
+        options["verify_rate"] = args.verify_rate
+    if engine_overrides:
+        options["engine"] = engine_overrides
+
+    try:
+        with ServeClient(socket_path=args.socket, client=args.client,
+                         timeout=args.timeout) as client:
+            submitted = client.submit(program, **options)
+            job_id = submitted["job_id"]
+            if args.no_wait:
+                if args.json:
+                    print(json.dumps(submitted, indent=2, sort_keys=True))
+                else:
+                    print("submitted %s as %s (namespace %s, %d warm "
+                          "entries)" % (program.name, job_id,
+                                        submitted["namespace"][:12],
+                                        submitted["warm_entries"]))
+                return 0
+            job = client.wait(job_id, timeout=args.timeout)
+            if job["state"] != "done":
+                print("job %s %s: %s" % (job_id, job["state"],
+                                         job.get("error")), file=sys.stderr)
+                return 1
+            result = client.result(job_id)
+    except ServeClientError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+    final_bytes = base64.b64decode(result.pop("final_state"))
+    state = StateVector(program.layout)
+    state.buf[:] = final_bytes
+    registers = {}
+    for reg_name in args.reg or ():
+        reg = NAME_TO_REG.get(reg_name.lower())
+        if reg is None:
+            print("unknown register %r" % reg_name, file=sys.stderr)
+            return 2
+        registers[reg_name] = state.get_reg_signed(reg)
+    global_values = {}
+    for symbol in args.globals or ():
+        for candidate in (symbol, "g_" + symbol):
+            if candidate in program.symbols:
+                global_values[symbol] = state.read_i32(
+                    program.symbol(candidate))
+                break
+        else:
+            print("unknown global %r" % symbol, file=sys.stderr)
+            return 2
+    if args.state_out:
+        with open(args.state_out, "wb") as handle:
+            handle.write(final_bytes)
+    if args.json:
+        result["registers"] = registers
+        result["globals"] = global_values
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        first = result.get("first_splice_seconds")
+        print("%s: %s after %d instructions in %.3fs wall "
+              "(%d warm entries, %d hits%s, %d new entries banked)"
+              % (job_id, "halted" if result["halted"] else "limit",
+                 result["total_instructions"], result["wall_seconds"],
+                 result["warm_entries"], result["hits"],
+                 ", first splice %.3fs" % first if first is not None else "",
+                 result["merged_entries"]))
+        for name, value in registers.items():
+            print("%s = %d" % (name, value))
+        for name, value in global_values.items():
+            print("%s = %d" % (name, value))
+    return 0 if result["halted"] else 1
+
+
+def cmd_jobs(args):
+    """List the daemon's jobs, with per-client aggregates via stats."""
+    from repro.serve import ServeClient, ServeClientError
+
+    try:
+        with ServeClient(socket_path=args.socket) as client:
+            rows = client.jobs()
+            stats = client.stats()
+    except ServeClientError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({"jobs": rows, "stats": stats}, indent=2,
+                         sort_keys=True))
+        return 0
+    if not rows:
+        print("no jobs")
+    for row in rows:
+        wall = ("%.3fs" % row["wall_seconds"]
+                if row.get("wall_seconds") is not None else "-")
+        extra = ""
+        if row["state"] == "done":
+            extra = " hits=%s warm=%s merged=%s" % (
+                row.get("hits"), row.get("warm_entries"),
+                row.get("merged_entries"))
+        elif row.get("error"):
+            extra = " error=%s" % row["error"]
+        print("%-8s %-16s %-10s %-9s %8s%s"
+              % (row["job_id"], row["client"][:16], row["program"][:10],
+                 row["state"], wall, extra))
+    queue = stats["queue"]
+    print("queue: %d queued, %d running; budget %d/%d workers; "
+          "cache %d entries in %d namespaces"
+          % (queue["queued"], queue["running"],
+             stats["workers_committed"], stats["worker_budget"],
+             stats["cache"]["total_entries"], stats["cache"]["namespaces"]))
+    for name, agg in stats["clients"].items():
+        print("client %-16s %d submitted, %d done, %d failed, "
+              "%d cancelled" % (name[:16], agg["jobs_submitted"],
+                                agg["jobs_done"], agg["jobs_failed"],
+                                agg["jobs_cancelled"]))
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -750,6 +968,91 @@ def build_parser():
     p.add_argument("--json", action="store_true")
     add_transport_flag(p)
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resident speculation daemon (warm pools + shared "
+             "cross-run trajectory cache)")
+    p.add_argument("--socket", default=None,
+                   help="unix socket path (default REPRO_SERVE_SOCKET or "
+                        "a per-user path under the temp dir)")
+    p.add_argument("--stop", action="store_true",
+                   help="ask the daemon on --socket to drain and exit")
+    p.add_argument("--no-drain", dest="no_drain", action="store_true",
+                   help="with --stop: cancel running jobs instead of "
+                        "draining them")
+    p.add_argument("--worker-budget", dest="worker_budget", type=int,
+                   default=4,
+                   help="total live workers across every warm pool")
+    p.add_argument("--workers-per-job", dest="workers_per_job", type=int,
+                   default=2, help="workers per newly created pool")
+    p.add_argument("--max-jobs", dest="max_jobs", type=int, default=2,
+                   help="concurrently running jobs")
+    p.add_argument("--max-running-per-client", dest="max_running_per_client",
+                   type=int, default=1)
+    p.add_argument("--max-queued-per-client", dest="max_queued_per_client",
+                   type=int, default=8,
+                   help="per-client backlog bound (backpressure)")
+    p.add_argument("--cache-dir", dest="cache_dir",
+                   help="persist cache shards here across restarts "
+                        "(default: memory only)")
+    p.add_argument("--flush-every", dest="flush_every", type=int, default=1,
+                   help="flush dirty shards every N finished jobs")
+    p.add_argument("--drain-seconds", dest="drain_seconds", type=float,
+                   default=10.0,
+                   help="shutdown grace for running jobs before cancel")
+    p.add_argument("--max-instructions", type=int, default=500_000_000,
+                   help="per-job default instruction limit")
+    p.add_argument("--task-timeout", dest="task_timeout", type=float,
+                   default=30.0)
+    add_transport_flag(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a program to the daemon and (by default) wait")
+    p.add_argument("target",
+                   help="builtin workload (%s) or a program file"
+                        % "/".join(_CHAOS_BUILTINS))
+    p.add_argument("--size", type=int,
+                   help="builtin workload size (collatz count / ising "
+                        "nodes / mm2 n)")
+    p.add_argument("--socket", default=None)
+    p.add_argument("--client", default=None,
+                   help="client name for fairness and stats bookkeeping")
+    p.add_argument("--workers", type=int,
+                   help="pool width if the daemon creates a pool for "
+                        "this image")
+    p.add_argument("--max-instructions", type=int, default=50_000_000)
+    p.add_argument("--superstep-scale", type=int, default=1,
+                   dest="superstep_scale")
+    p.add_argument("--wait-bias", dest="wait_bias", type=float,
+                   help="engine inflight wait bias (large values make "
+                        "warm-cache runs deterministic)")
+    p.add_argument("--no-wait", dest="no_wait", action="store_true",
+                   help="print the job id and return immediately")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="seconds to wait for the result")
+    p.add_argument("--reg", action="append",
+                   help="print a register from the final state")
+    p.add_argument("--global", dest="globals", action="append",
+                   help="print a global variable from the final state")
+    p.add_argument("--state-out", dest="state_out", metavar="PATH",
+                   help="write the final machine state bytes to PATH")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--window", type=int, help="recognizer window")
+    p.add_argument("--min-superstep", type=int, dest="min_superstep")
+    p.add_argument("--hints", action="store_true")
+    add_transport_flag(p)
+    add_verify_flags(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs",
+                       help="list the daemon's jobs and per-client stats")
+    p.add_argument("--socket", default=None)
+    p.add_argument("--json", action="store_true",
+                   help="full jobs list + stats verb payload as JSON")
+    p.set_defaults(func=cmd_jobs)
     return parser
 
 

@@ -7,6 +7,7 @@ trajectory cache, and the engines (sequential, parallel-speculative, and
 single-core memoizing) that tie them together over the TBFS substrate.
 """
 
+from repro.core.cache_store import CacheSnapshot, SharedCacheStore
 from repro.core.config import EngineConfig
 from repro.core.excitation import ExcitationTracker, ObservationView
 from repro.core.recognizer import Recognizer, RecognizedIP
@@ -29,7 +30,9 @@ from repro.core.predictors import (
 )
 
 __all__ = [
+    "CacheSnapshot",
     "EngineConfig",
+    "SharedCacheStore",
     "ExcitationTracker",
     "ObservationView",
     "Recognizer",

@@ -133,6 +133,12 @@ class RunStats:
         self.speculation_faults = 0
         self.query_bits_total = 0
         self.phase_transitions = 0
+        # Wall seconds from run start to the first cache splice, or
+        # None if the run never fast-forwarded. The daemon's warm-start
+        # story is measured on this: a pre-populated shared cache should
+        # splice almost immediately, a cold run only after its workers
+        # have learned something.
+        self.first_splice_seconds = None
 
     @property
     def hit_rate(self):

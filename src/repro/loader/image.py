@@ -66,6 +66,7 @@ class Program:
         self.code_base = int(code_base)
         self.data_base = _align(self.code_base + len(self.code), 16)
         self.source = source
+        self._image_hash = None  # computed lazily by image_hash()
         #: Optional compiler hints (:class:`ProgramHints`): structural
         #: knowledge — loop headers, function entries — that a compiler
         #: can hand the recognizer as priors (the paper's §2.1 "import
@@ -111,6 +112,31 @@ class Program:
             return self.symbols[name]
         except KeyError:
             raise LoaderError("undefined symbol %r in %s" % (name, self.name))
+
+    def image_hash(self):
+        """Stable hex identity of the executable image.
+
+        Covers exactly what determines the transition function and the
+        initial state: code and data bytes, entry point, load address,
+        and state-vector size. Names, symbols, source text, and hints
+        are excluded — two images that differ only cosmetically share a
+        trajectory-cache namespace, while a single flipped instruction
+        byte lands in a different one (``repro serve`` keys per-client
+        cache namespaces on this digest so distinct programs can never
+        cross-pollinate).
+        """
+        if self._image_hash is None:
+            import hashlib
+            digest = hashlib.sha256()
+            for part in (b"repro-image-v1",
+                         len(self.code).to_bytes(8, "little"), self.code,
+                         len(self.data).to_bytes(8, "little"), self.data,
+                         self.entry.to_bytes(8, "little"),
+                         self.code_base.to_bytes(8, "little"),
+                         self.layout.mem_size.to_bytes(8, "little")):
+                digest.update(part)
+            self._image_hash = digest.hexdigest()
+        return self._image_hash
 
     # -- materialization --------------------------------------------------------
 

@@ -388,6 +388,8 @@ class RealParallelEngine:
                     stats.misses += 1
                     break
                 stats.hits += 1
+                if stats.first_splice_seconds is None:
+                    stats.first_splice_seconds = time.perf_counter() - t0
                 pre_splice_count = base_instructions + progress()
                 entry.apply(buf)
                 if id(entry) in entry_ids:

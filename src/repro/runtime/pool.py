@@ -262,6 +262,28 @@ class WorkerPool:
         self._admit_due()
         return self.supervisor.speculation_allowed(self.active_workers)
 
+    def quiesce(self, timeout=5.0):
+        """Absorb every in-flight task so the pool can be reused.
+
+        A shared pool (``repro serve`` runs many jobs on one pool) must
+        not leak one job's straggler results into the next job's drain
+        loop — stale ``meta`` keys would poison the next engine's
+        coverage bookkeeping. Polls until nothing is in flight or the
+        timeout expires; whatever is still stuck after that is failed
+        through the normal timeout path (worker killed and respawned),
+        so the next job always starts against an empty queue. Returns
+        the absorbed outcomes — their OK entries are still valid facts
+        about this pool's program, so a caller may bank them.
+        """
+        outcomes = []
+        deadline = time.monotonic() + max(0.0, timeout)
+        while self.inflight_count() and time.monotonic() < deadline:
+            outcomes.extend(self.poll(timeout=0.05))
+        for worker in self._live():
+            if worker.inflight:
+                outcomes.extend(self._fail_worker(worker, TASK_TIMED_OUT))
+        return outcomes
+
     def shutdown(self):
         """Stop every worker; polite first, then by force. Idempotent."""
         if self._closed:

@@ -104,6 +104,19 @@ def _unregister_created(name):
 
 def _cleanup_created_segments():
     """atexit sweep: unlink every segment the pool never released."""
+    sweep_created_segments()
+
+
+def sweep_created_segments():
+    """Unlink every segment this process created and never released.
+
+    Explicitly **idempotent and reentrant-safe**: the registry is
+    emptied under the lock before any unlink happens, so a daemon's
+    SIGTERM handler, its ``close()`` path, and the atexit hook can all
+    fire (even twice, under double-SIGTERM) without raising or racing —
+    later calls see an empty registry and do nothing. Returns how many
+    segments this call actually reaped.
+    """
     with _registry_lock:
         leftovers = list(_created_segments.values())
         _created_segments.clear()
@@ -113,6 +126,7 @@ def _cleanup_created_segments():
                 action()
             except (OSError, FileNotFoundError, BufferError):
                 pass
+    return len(leftovers)
 
 
 def live_segment_names():

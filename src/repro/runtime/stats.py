@@ -83,6 +83,30 @@ class RuntimeStats:
         out["incidents"] = [dict(i) for i in self.incidents]
         return out
 
+    # -- per-job accounting on a shared pool ---------------------------------
+    #
+    # A long-lived daemon reuses one pool (and therefore one RuntimeStats)
+    # across many jobs; a job's own contribution is the difference between
+    # two snapshots. Gauges (workers_quarantined) can legitimately move
+    # down, so deltas may be negative for those.
+
+    def snapshot(self):
+        """Numeric counter values right now, for later differencing."""
+        out = {key: value for key, value in self.__dict__.items()
+               if isinstance(value, (int, float))}
+        out["n_incidents"] = len(self.incidents)
+        return out
+
+    def delta_since(self, snapshot):
+        """Counter movement since :meth:`snapshot` — plus the incident
+        dicts recorded in between (``incidents`` key)."""
+        current = self.snapshot()
+        delta = {key: value - snapshot.get(key, 0)
+                 for key, value in current.items()}
+        delta["incidents"] = [dict(i) for i in
+                              self.incidents[snapshot.get("n_incidents", 0):]]
+        return delta
+
     def __repr__(self):
         return ("RuntimeStats(dispatched=%d, completed=%d, shipped=%d, "
                 "used=%d, timed_out=%d, crashed=%d)"

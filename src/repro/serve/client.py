@@ -1,0 +1,158 @@
+"""Thin client for the speculation daemon.
+
+One :class:`ServeClient` wraps one socket connection and speaks the
+:mod:`repro.serve.protocol` verbs as methods. It is deliberately dumb:
+no retries, no local state beyond the socket — the daemon owns every
+job's truth, and a client that reconnects can poll any job by id.
+``repro submit`` and ``repro jobs`` are built on this; so are the
+integration tests, which drive two clients concurrently against one
+daemon.
+"""
+
+import base64
+import getpass
+import os
+import socket
+import time
+
+from repro.errors import ReproError
+from repro.serve import protocol
+from repro.serve.config import default_socket_path
+
+
+class ServeClientError(ReproError):
+    """The daemon refused a request or the connection failed."""
+
+    def __init__(self, message, code="error"):
+        super().__init__(message)
+        self.code = code
+
+
+def default_client_name():
+    """Stable-ish per-user default for the fairness bookkeeping."""
+    try:
+        user = getpass.getuser()
+    except (KeyError, OSError):
+        user = "uid%d" % os.getuid() if hasattr(os, "getuid") else "client"
+    return "%s@%d" % (user, os.getpid())
+
+
+class ServeClient:
+    """One connection to a running daemon.
+
+    Usable as a context manager; every method raises
+    :class:`ServeClientError` (with the daemon's ``code``) on a refused
+    request, and plain ``OSError`` if the socket dies.
+    """
+
+    def __init__(self, socket_path=None, client=None, timeout=30.0):
+        self.socket_path = socket_path or default_socket_path()
+        self.client = client or default_client_name()
+        self.timeout = timeout
+        try:
+            self._sock = protocol.connect(self.socket_path, timeout=timeout)
+        except OSError as exc:
+            raise ServeClientError(
+                "no daemon at %s (%s) — start one with `repro serve`"
+                % (self.socket_path, exc), code="no-daemon")
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(self, verb, **fields):
+        """One round trip; returns the ok-response payload dict."""
+        fields["verb"] = verb
+        fields["protocol"] = protocol.PROTOCOL_VERSION
+        protocol.send_message(self._sock, fields)
+        while True:
+            try:
+                response = protocol.recv_message(self._sock)
+            except socket.timeout:
+                raise ServeClientError(
+                    "daemon did not answer %r within %.0fs"
+                    % (verb, self.timeout), code="timeout")
+            break
+        if response is None:
+            raise ServeClientError("daemon closed the connection",
+                                   code="disconnected")
+        if not response.get("ok"):
+            raise ServeClientError(response.get("error", "request refused"),
+                                   code=response.get("code", "error"))
+        return response
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- verbs ---------------------------------------------------------------
+
+    def ping(self):
+        return self.request(protocol.VERB_PING)
+
+    def submit(self, program, **options):
+        """Submit a :class:`~repro.loader.image.Program`; returns the
+        submit payload (``job_id``, ``namespace``, ``warm_entries``)."""
+        return self.request(protocol.VERB_SUBMIT,
+                            client=self.client,
+                            program=program.to_dict(),
+                            options=options)
+
+    def poll(self, job_id):
+        """Current summary row for one job."""
+        return self.request(protocol.VERB_POLL, job_id=job_id)["job"]
+
+    def wait(self, job_id, timeout=120.0, interval=0.05):
+        """Poll until the job is terminal; returns its final summary."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.poll(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServeClientError("job %s still %s after %.0fs"
+                                       % (job_id, job["state"], timeout),
+                                       code="timeout")
+            time.sleep(interval)
+
+    def result(self, job_id, include_state=True):
+        """Full result payload of a DONE job."""
+        response = self.request(protocol.VERB_RESULT, job_id=job_id,
+                                include_state=include_state)
+        return response["result"]
+
+    def final_state(self, job_id):
+        """The job's final machine state, as raw bytes — the
+        byte-identical-to-sequential artifact."""
+        result = self.result(job_id, include_state=True)
+        return base64.b64decode(result["final_state"])
+
+    def run(self, program, timeout=120.0, **options):
+        """Submit + wait + fetch: the synchronous convenience path
+        ``repro submit --wait`` uses. Returns the full result payload."""
+        job_id = self.submit(program, **options)["job_id"]
+        job = self.wait(job_id, timeout=timeout)
+        if job["state"] != "done":
+            raise ServeClientError("job %s %s: %s"
+                                   % (job_id, job["state"], job.get("error")),
+                                   code="job-" + job["state"])
+        return self.result(job_id)
+
+    def cancel(self, job_id):
+        return self.request(protocol.VERB_CANCEL, job_id=job_id)
+
+    def stats(self):
+        return self.request(protocol.VERB_STATS)["stats"]
+
+    def jobs(self):
+        return self.request(protocol.VERB_JOBS)["jobs"]
+
+    def shutdown(self, drain=True):
+        """Ask the daemon to stop (drains running jobs by default)."""
+        return self.request(protocol.VERB_SHUTDOWN, drain=drain)

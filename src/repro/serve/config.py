@@ -1,0 +1,88 @@
+"""Configuration for the speculation-as-a-service daemon."""
+
+import os
+import tempfile
+
+
+def default_socket_path():
+    """``REPRO_SERVE_SOCKET`` or a per-user path under the temp dir."""
+    env = os.environ.get("REPRO_SERVE_SOCKET")
+    if env:
+        return env
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), "repro-serve-%d.sock" % uid)
+
+
+class ServeConfig:
+    """Tunables for :class:`~repro.serve.daemon.SpeculationDaemon`.
+
+    Kept separate from :class:`~repro.runtime.config.RuntimeConfig`
+    (one job's execution substrate) the same way that is kept separate
+    from ``EngineConfig``: these knobs describe the *service* — socket,
+    worker budget across all tenants, fairness bounds, cache
+    persistence cadence — and a one-shot run never reads them.
+    """
+
+    def __init__(self,
+                 socket_path=None,
+                 # Total live workers across every warm pool. The
+                 # resource manager admits a job only when its pool fits
+                 # the budget, retiring idle pools LRU to make room —
+                 # the daemon's capacity is workers, not jobs.
+                 worker_budget=4,
+                 # Workers per newly created pool, unless the submit
+                 # requests otherwise (a warm pool keeps its width; the
+                 # request is a preference, the warm pool wins).
+                 workers_per_job=2,
+                 # Concurrent running jobs (each on its own pool; jobs
+                 # sharing an image serialize on their shared pool).
+                 max_concurrent_jobs=2,
+                 # Fairness bounds (see serve/queue.py).
+                 max_running_per_client=1,
+                 max_queued_per_client=8,
+                 # Shared-cache persistence: directory for shard files
+                 # (None = memory only) and how many finished jobs may
+                 # elapse between flushes (1 = flush after every job;
+                 # shutdown always flushes).
+                 cache_dir=None,
+                 flush_every_jobs=1,
+                 cache_capacity_bytes=None,
+                 # Lifecycle: how long a drain waits for running jobs
+                 # before cancelling them at their next boundary, and
+                 # how long a finished job waits for its pool's
+                 # straggler speculations before force-clearing them.
+                 drain_seconds=10.0,
+                 quiesce_seconds=5.0,
+                 # Per-job defaults (submit options override).
+                 max_instructions=500_000_000,
+                 superstep_scale=1,
+                 task_timeout_seconds=30.0,
+                 transport=None,
+                 # Socket accept backlog.
+                 backlog=16):
+        self.socket_path = socket_path or default_socket_path()
+        self.worker_budget = worker_budget
+        self.workers_per_job = workers_per_job
+        self.max_concurrent_jobs = max_concurrent_jobs
+        self.max_running_per_client = max_running_per_client
+        self.max_queued_per_client = max_queued_per_client
+        self.cache_dir = cache_dir
+        self.flush_every_jobs = max(1, int(flush_every_jobs))
+        self.cache_capacity_bytes = cache_capacity_bytes
+        self.drain_seconds = drain_seconds
+        self.quiesce_seconds = quiesce_seconds
+        self.max_instructions = max_instructions
+        self.superstep_scale = superstep_scale
+        self.task_timeout_seconds = task_timeout_seconds
+        self.transport = transport
+        self.backlog = backlog
+
+    def replace(self, **kwargs):
+        """A copy with the given fields overridden."""
+        fields = dict(self.__dict__)
+        fields.update(kwargs)
+        return ServeConfig(**fields)
+
+    def __repr__(self):
+        inner = ", ".join("%s=%r" % kv for kv in sorted(self.__dict__.items()))
+        return "ServeConfig(%s)" % inner

@@ -1,0 +1,750 @@
+"""The resident speculation daemon behind ``repro serve``.
+
+One process owns what every one-shot ``repro run`` pays for and throws
+away: warm :class:`~repro.runtime.pool.WorkerPool` processes (spawned
+once, their block caches hot across jobs) and a shared, sharded,
+persistent :class:`~repro.core.cache_store.SharedCacheStore` of
+trajectory-cache entries keyed by program image hash. Clients talk to
+it over a unix-domain socket (:mod:`repro.serve.protocol`); each
+``submit`` becomes a :class:`~repro.serve.queue.Job` that executes a
+full :class:`~repro.runtime.engine.RealParallelEngine` run — the same
+byte-identical-to-sequential guarantee as the CLI, per job — against
+its namespace's warm cache, and merges what it learned back for the
+next run of that image, whoever submits it.
+
+Three thread families, one lock:
+
+* **connection threads** (one per client socket) parse requests and
+  mutate queue/job state under the daemon lock — every handler is
+  quick; nothing blocking runs under the lock except pool retirement;
+* the **scheduler thread** picks the next fairly-chosen job whose
+  resources fit (see below) and hands it a job thread;
+* **job threads** run the engine *outside* the lock — one job per pool
+  at a time, so no engine ever shares a pool concurrently.
+
+Resource management: pools are per image hash (workers load one
+program image at spawn), and the daemon multiplexes every tenant onto
+a fixed **worker budget**. A job whose image already has a warm pool
+waits only for that pool to go idle; a job needing a new pool is
+admitted when the budget has room, retiring idle pools
+least-recently-used to make it. Fairness across clients and per-client
+bounds live in :class:`~repro.serve.queue.CentralQueue`.
+
+Failure containment: a job that raises is marked FAILED, its pool is
+retired (never handed to another job), its pool's in-flight stragglers
+are absorbed by :meth:`~repro.runtime.pool.WorkerPool.quiesce`, and
+the shared store is only ever touched through signature-deduplicated
+merges — a crashed job cannot poison the daemon, another client's
+namespace, or the queue. Lifecycle: SIGTERM requests a drain (running
+jobs finish, or are cancelled at their next boundary after
+``drain_seconds``), shards flush, pools shut down, shm segments are
+swept, and the socket is unlinked; every step is idempotent under a
+second SIGTERM racing the first (the second escalates the drain to an
+immediate cancel instead of re-running cleanup).
+"""
+
+import base64
+import hashlib
+import itertools
+import os
+import socket
+import threading
+import time
+
+from repro.core.cache_store import SharedCacheStore
+from repro.core.config import EngineConfig
+from repro.errors import ReproError
+from repro.loader.image import Program
+from repro.runtime import RealParallelEngine, RuntimeConfig, WorkerPool
+from repro.runtime import shm
+from repro.serve import protocol
+from repro.serve.config import ServeConfig
+from repro.serve.queue import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    BacklogFull,
+    CentralQueue,
+    Job,
+    JobCancelled,
+)
+
+#: Submit options the daemon understands; anything else is rejected at
+#: submit time so a typo fails fast instead of silently running with
+#: defaults.
+_JOB_OPTIONS = frozenset((
+    "workers", "max_instructions", "superstep_scale", "transport",
+    "inflight_wait_bias", "verify_rate", "strict_verify", "engine",
+))
+
+#: Terminal jobs retained for ``jobs``/``result`` queries.
+_JOB_HISTORY = 256
+
+
+class ServeError(ReproError):
+    """The daemon could not start or was misused."""
+
+
+class _PoolLease:
+    """One warm pool and its scheduling state (guarded by the daemon
+    lock; the pool object itself is only touched by the job thread
+    holding ``busy``)."""
+
+    __slots__ = ("namespace", "program_name", "n_workers", "transport",
+                 "pool", "busy", "jobs_served", "last_used", "recognized")
+
+    def __init__(self, namespace, program_name, n_workers, transport):
+        self.namespace = namespace
+        self.program_name = program_name
+        self.n_workers = n_workers
+        self.transport = transport
+        self.pool = None  # created lazily by the first job thread
+        self.busy = True  # born acquired
+        self.jobs_served = 0
+        self.last_used = time.monotonic()
+        # engine-config repr -> RecognizedIP: recognition is
+        # deterministic per (program, config), so later jobs skip the
+        # recognizer's observation run entirely — part of the warm win.
+        self.recognized = {}
+
+
+class SpeculationDaemon:
+    """Speculation-as-a-service over a unix socket."""
+
+    def __init__(self, config=None):
+        self.config = config or ServeConfig()
+        self.store = SharedCacheStore(
+            self.config.cache_dir,
+            capacity_bytes=self.config.cache_capacity_bytes)
+        self.queue = CentralQueue(
+            max_queued_per_client=self.config.max_queued_per_client,
+            max_running_per_client=self.config.max_running_per_client)
+        self._lock = threading.RLock()
+        self._jobs = {}  # job_id -> Job (bounded history)
+        self._job_order = []  # insertion order, for pruning
+        self._pools = {}  # namespace -> _PoolLease
+        self._clients = {}  # client name -> aggregate dict
+        self._job_ids = itertools.count(1)
+        self._stop = threading.Event()
+        self._work = threading.Event()  # scheduler wake-up
+        self._close_lock = threading.Lock()
+        self._closed = False
+        self._listener = None
+        self._socket_bound = False
+        self._accept_thread = None
+        self._scheduler_thread = None
+        self._conn_threads = []
+        self._job_threads = {}  # job_id -> Thread
+        self.started_at = None
+        # -- service counters ------------------------------------------
+        self.connections_accepted = 0
+        self.requests_served = 0
+        self.protocol_errors = 0
+        self.pools_created = 0
+        self.pools_retired = 0
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self._jobs_since_flush = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self):
+        """Bind the socket and start the accept + scheduler threads."""
+        path = self.config.socket_path
+        if os.path.exists(path):
+            if protocol.daemon_running(path):
+                raise ServeError("a daemon is already serving %s" % path)
+            os.unlink(path)  # stale socket from an unclean exit
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(path)
+        except OSError as exc:
+            listener.close()
+            raise ServeError("cannot bind %s: %s" % (path, exc))
+        os.chmod(path, 0o600)
+        listener.listen(self.config.backlog)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._socket_bound = True
+        self.started_at = time.time()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True)
+        self._accept_thread.start()
+        self._scheduler_thread = threading.Thread(
+            target=self._scheduler_loop, name="repro-serve-sched",
+            daemon=True)
+        self._scheduler_thread.start()
+        return self
+
+    def serve_forever(self):
+        """Run until :meth:`request_stop` (SIGTERM handler, shutdown
+        verb, or KeyboardInterrupt); always cleans up. Starts the
+        daemon first unless the caller already did."""
+        if self._listener is None:
+            self.start()
+        try:
+            while not self._stop.is_set():
+                self._stop.wait(0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def request_stop(self, drain=True):
+        """Ask the daemon to stop. Safe from signal handlers.
+
+        The first request starts a drain (running jobs finish). A
+        repeated request — or ``drain=False`` — escalates: every
+        running job is cancelled at its next superstep boundary. Never
+        raises, no matter how often it fires.
+        """
+        if self._stop.is_set() or not drain:
+            with self._lock:
+                running = [job for job in self._jobs.values()
+                           if job.state == JOB_RUNNING]
+            for job in running:
+                job.cancel_event.set()
+        self._stop.set()
+        self._work.set()
+
+    def close(self):
+        """Full teardown: drain, flush, shut pools down, unlink the
+        socket, sweep shm. Idempotent — the SIGTERM path, the shutdown
+        verb, atexit, and an explicit call may all land here."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stop.set()
+        self._work.set()
+        for thread in (self._accept_thread, self._scheduler_thread):
+            if thread is not None:
+                thread.join(timeout=5.0)
+        # Drain: give running jobs their window, then cancel the rest.
+        deadline = time.monotonic() + self.config.drain_seconds
+        while time.monotonic() < deadline:
+            with self._lock:
+                threads = [t for t in self._job_threads.values()
+                           if t.is_alive()]
+            if not threads:
+                break
+            time.sleep(0.05)
+        with self._lock:
+            running = [job for job in self._jobs.values()
+                       if job.state == JOB_RUNNING]
+        for job in running:
+            job.cancel_event.set()
+        with self._lock:
+            threads = list(self._job_threads.values())
+        for thread in threads:
+            thread.join(timeout=self.config.drain_seconds + 10.0)
+        # Queued jobs never ran; tell their owners why.
+        for job in self.queue.drain_queued():
+            if not job.terminal:
+                job.finish(JOB_CANCELLED, error="daemon shutdown")
+                self.jobs_cancelled += 1
+        with self._lock:
+            leases = list(self._pools.values())
+            self._pools.clear()
+        for lease in leases:
+            if lease.pool is not None:
+                lease.pool.shutdown()
+            self.pools_retired += 1
+        self.store.flush(force=True)
+        # Belt and braces: the pools' shutdowns unlink their rings; the
+        # sweep reaps anything an interrupted path left registered.
+        # Idempotent, like everything else on this path.
+        shm.sweep_created_segments()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._socket_bound:
+            self._socket_bound = False
+            try:
+                os.unlink(self.config.socket_path)
+            except FileNotFoundError:
+                pass
+            except OSError:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- accept / connection handling ----------------------------------------
+
+    def _accept_loop(self):
+        while not self._stop.is_set():
+            try:
+                conn, __ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self.connections_accepted += 1
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(conn,), daemon=True,
+                                      name="repro-serve-conn")
+            thread.start()
+            self._conn_threads.append(thread)
+            self._conn_threads = [t for t in self._conn_threads
+                                  if t.is_alive()]
+
+    def _serve_connection(self, conn):
+        conn.settimeout(0.5)
+        try:
+            while not self._stop.is_set():
+                try:
+                    request = protocol.recv_message(conn)
+                except socket.timeout:
+                    continue
+                except protocol.ProtocolError as exc:
+                    self.protocol_errors += 1
+                    try:
+                        protocol.send_message(
+                            conn, protocol.error_response(exc, "protocol"))
+                    except OSError:
+                        pass
+                    return
+                if request is None:
+                    return  # peer hung up cleanly
+                try:
+                    response = self._handle(request)
+                except Exception as exc:  # a request never kills the daemon
+                    response = protocol.error_response(exc, "internal")
+                try:
+                    protocol.send_message(conn, response)
+                except (OSError, protocol.ProtocolError):
+                    return
+                self.requests_served += 1
+                if request.get("verb") == protocol.VERB_SHUTDOWN \
+                        and response.get("ok"):
+                    self.request_stop(drain=bool(request.get("drain", True)))
+                    return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _handle(self, request):
+        verb = request.get("verb")
+        if verb == protocol.VERB_PING:
+            return protocol.ok_response(
+                pong=True, uptime_seconds=time.time() - self.started_at,
+                protocol=protocol.PROTOCOL_VERSION)
+        if verb == protocol.VERB_SUBMIT:
+            return self._handle_submit(request)
+        if verb == protocol.VERB_POLL:
+            return self._handle_poll(request)
+        if verb == protocol.VERB_RESULT:
+            return self._handle_result(request)
+        if verb == protocol.VERB_CANCEL:
+            return self._handle_cancel(request)
+        if verb == protocol.VERB_STATS:
+            return protocol.ok_response(stats=self.stats_dict())
+        if verb == protocol.VERB_JOBS:
+            with self._lock:
+                rows = [self._jobs[jid].summary() for jid in self._job_order]
+            return protocol.ok_response(jobs=rows)
+        if verb == protocol.VERB_SHUTDOWN:
+            return protocol.ok_response(stopping=True)
+        return protocol.error_response("unknown verb %r" % (verb,),
+                                       "bad-verb")
+
+    def _handle_submit(self, request):
+        if self._stop.is_set():
+            return protocol.error_response("daemon is draining", "draining")
+        client = str(request.get("client") or "anonymous")
+        options = request.get("options") or {}
+        if not isinstance(options, dict):
+            return protocol.error_response("options must be an object",
+                                           "bad-request")
+        unknown = set(options) - _JOB_OPTIONS
+        if unknown:
+            return protocol.error_response(
+                "unknown submit options: %s" % ", ".join(sorted(unknown)),
+                "bad-request")
+        engine_overrides = options.get("engine") or {}
+        bad = set(engine_overrides) - set(EngineConfig().__dict__)
+        if bad:
+            return protocol.error_response(
+                "unknown engine options: %s" % ", ".join(sorted(bad)),
+                "bad-request")
+        try:
+            program = Program.from_dict(request.get("program") or {})
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            return protocol.error_response("bad program image: %s" % exc,
+                                           "bad-program")
+        namespace = program.image_hash()
+        with self._lock:
+            job = Job("j%d" % next(self._job_ids), client, program,
+                      namespace, options)
+            try:
+                self.queue.submit(job)
+            except BacklogFull as exc:
+                return protocol.error_response(exc, "busy")
+            self._remember_job(job)
+            aggregate = self._client_aggregate(client)
+            aggregate["jobs_submitted"] += 1
+        self._work.set()
+        return protocol.ok_response(
+            job_id=job.job_id, namespace=namespace,
+            warm_entries=self.store.entry_count(namespace),
+            queued=self.queue.queued_count())
+
+    def _handle_poll(self, request):
+        job = self._find_job(request)
+        if job is None:
+            return protocol.error_response("unknown job", "not-found")
+        payload = job.summary()
+        return protocol.ok_response(job=payload)
+
+    def _handle_result(self, request):
+        job = self._find_job(request)
+        if job is None:
+            return protocol.error_response("unknown job", "not-found")
+        if job.state != JOB_DONE:
+            return protocol.error_response(
+                "job %s is %s%s" % (job.job_id, job.state,
+                                    ": %s" % job.error if job.error else ""),
+                "not-done")
+        result = dict(job.result)
+        if not request.get("include_state", True):
+            result.pop("final_state", None)
+        return protocol.ok_response(job_id=job.job_id, result=result)
+
+    def _handle_cancel(self, request):
+        job = self._find_job(request)
+        if job is None:
+            return protocol.error_response("unknown job", "not-found")
+        with self._lock:
+            if job.terminal:
+                return protocol.ok_response(job_id=job.job_id,
+                                            state=job.state,
+                                            cancelled=False)
+            job.cancel_event.set()
+            if job.state == JOB_QUEUED and self.queue.cancel_queued(job):
+                job.finish(JOB_CANCELLED, error="cancelled while queued")
+                self.jobs_cancelled += 1
+                self._client_aggregate(job.client)["jobs_cancelled"] += 1
+                return protocol.ok_response(job_id=job.job_id,
+                                            state=job.state, cancelled=True)
+        # Running: the boundary hook will raise at the next superstep.
+        return protocol.ok_response(job_id=job.job_id, state=JOB_RUNNING,
+                                    cancelled=True)
+
+    def _find_job(self, request):
+        job_id = request.get("job_id")
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def _remember_job(self, job):
+        self._jobs[job.job_id] = job
+        self._job_order.append(job.job_id)
+        # Bound history: drop the oldest *terminal* jobs beyond the cap.
+        if len(self._job_order) > _JOB_HISTORY:
+            for job_id in list(self._job_order):
+                if len(self._job_order) <= _JOB_HISTORY:
+                    break
+                old = self._jobs[job_id]
+                if old.terminal:
+                    self._job_order.remove(job_id)
+                    del self._jobs[job_id]
+
+    def _client_aggregate(self, client):
+        aggregate = self._clients.get(client)
+        if aggregate is None:
+            aggregate = {"jobs_submitted": 0, "jobs_done": 0,
+                         "jobs_failed": 0, "jobs_cancelled": 0,
+                         "runtime": {}, "stats": {}}
+            self._clients[client] = aggregate
+        return aggregate
+
+    @staticmethod
+    def _accumulate(into, delta):
+        for key, value in delta.items():
+            if isinstance(value, (int, float)):
+                into[key] = into.get(key, 0) + value
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _scheduler_loop(self):
+        while not self._stop.is_set():
+            self._work.wait(timeout=0.1)
+            self._work.clear()
+            while not self._stop.is_set():
+                with self._lock:
+                    if len(self._job_threads) >= \
+                            self.config.max_concurrent_jobs:
+                        break
+                    job = self.queue.next_runnable(self._runnable)
+                    if job is None:
+                        break
+                    lease = self._acquire_lease(job)
+                    thread = threading.Thread(
+                        target=self._run_job, args=(job, lease),
+                        name="repro-serve-job-%s" % job.job_id, daemon=True)
+                    self._job_threads[job.job_id] = thread
+                thread.start()
+
+    def _runnable(self, job):
+        """Resource-manager veto, called under the daemon lock."""
+        lease = self._pools.get(job.namespace)
+        if lease is not None:
+            return not lease.busy  # same image serializes on its pool
+        needed = self._job_workers(job)
+        committed = sum(l.n_workers for l in self._pools.values()
+                        if l.busy)
+        return committed + needed <= self.config.worker_budget
+
+    def _job_workers(self, job):
+        workers = job.options.get("workers") or self.config.workers_per_job
+        return max(1, min(int(workers), self.config.worker_budget))
+
+    def _acquire_lease(self, job):
+        """Reserve (or create) the pool lease for a job. Lock held."""
+        lease = self._pools.get(job.namespace)
+        if lease is not None:
+            lease.busy = True
+            return lease
+        needed = self._job_workers(job)
+        # Retire idle pools LRU until the new one fits the budget.
+        total = sum(l.n_workers for l in self._pools.values())
+        idle = sorted((l for l in self._pools.values() if not l.busy),
+                      key=lambda l: l.last_used)
+        while total + needed > self.config.worker_budget and idle:
+            victim = idle.pop(0)
+            del self._pools[victim.namespace]
+            total -= victim.n_workers
+            if victim.pool is not None:
+                victim.pool.shutdown()
+            self.pools_retired += 1
+        lease = _PoolLease(job.namespace, job.program.name, needed,
+                           job.options.get("transport")
+                           or self.config.transport)
+        self._pools[job.namespace] = lease
+        return lease
+
+    # -- job execution (job thread; daemon lock NOT held) --------------------
+
+    def _pool_runtime_config(self, lease):
+        return RuntimeConfig(
+            n_workers=lease.n_workers,
+            task_timeout_seconds=self.config.task_timeout_seconds,
+            transport=lease.transport)
+
+    def _job_runtime_config(self, job, lease):
+        options = job.options
+        return RuntimeConfig(
+            n_workers=lease.n_workers,
+            superstep_scale=int(options.get("superstep_scale")
+                                or self.config.superstep_scale),
+            max_instructions=int(options.get("max_instructions")
+                                 or self.config.max_instructions),
+            inflight_wait_bias=float(options.get("inflight_wait_bias", 1.0)),
+            task_timeout_seconds=self.config.task_timeout_seconds,
+            transport=lease.transport)
+
+    @staticmethod
+    def _engine_config(job):
+        overrides = dict(job.options.get("engine") or {})
+        if "logistic_learning_rates" in overrides:
+            overrides["logistic_learning_rates"] = tuple(
+                overrides["logistic_learning_rates"])
+        return EngineConfig(**overrides)
+
+    @staticmethod
+    def _verify_config(job):
+        from repro.verify import VerifyConfig
+        if job.options.get("strict_verify"):
+            return VerifyConfig(strict=True)
+        rate = job.options.get("verify_rate")
+        if rate is not None:
+            return VerifyConfig(rate=float(rate))
+        return None
+
+    def _run_job(self, job, lease):
+        pool_poisoned = False
+        runtime_delta = None
+        stats_dict = None
+        try:
+            if lease.pool is None:
+                lease.pool = WorkerPool(job.program,
+                                        self._pool_runtime_config(lease))
+                self.pools_created += 1
+            pool = lease.pool
+            engine_config = self._engine_config(job)
+            config_key = repr(engine_config)
+            warm = self.store.snapshot(job.namespace)
+            runtime_snapshot = pool.stats.snapshot()
+
+            def boundary_hook(engine, superstep):
+                if job.cancel_event.is_set():
+                    raise JobCancelled("job %s cancelled" % job.job_id)
+
+            engine = RealParallelEngine(
+                job.program, config=engine_config,
+                runtime_config=self._job_runtime_config(job, lease),
+                recognized=lease.recognized.get(config_key),
+                pool=pool, initial_cache=warm,
+                boundary_hook=boundary_hook,
+                verify=self._verify_config(job))
+            result = engine.run()
+            if engine.recognized is not None:
+                lease.recognized[config_key] = engine.recognized
+            # Absorb stragglers so the next job on this pool starts
+            # clean; their OK entries are valid facts about this image.
+            leftovers = pool.quiesce(self.config.quiesce_seconds)
+            learned = itertools.chain(
+                result.cache.entries(),
+                (o.entry for o in leftovers if o.ok and not o.task.audit))
+            merged = self.store.merge(job.namespace, learned)
+            runtime_delta = pool.stats.delta_since(runtime_snapshot)
+            stats_dict = result.stats.as_dict()
+            state = result.final_state
+            payload = {
+                "job_id": job.job_id,
+                "client": job.client,
+                "program": job.program.name,
+                "namespace": job.namespace,
+                "backend": "serve",
+                "halted": result.halted,
+                "wall_seconds": result.wall_seconds,
+                "total_instructions": result.total_instructions,
+                "first_splice_seconds": result.stats.first_splice_seconds,
+                "hits": result.stats.hits,
+                "n_workers": pool.n_workers,
+                "transport": pool.config.transport,
+                "warm_entries": len(warm),
+                "merged_entries": merged,
+                "stats": stats_dict,
+                "runtime": runtime_delta,
+                "cache": result.cache.stats_dict(),
+                "audit": result.audit,
+                "final_state": base64.b64encode(state).decode("ascii"),
+                "state_sha256": hashlib.sha256(state).hexdigest(),
+            }
+            with self._lock:
+                job.finish(JOB_DONE, result=payload)
+                self.jobs_done += 1
+        except JobCancelled as exc:
+            self._absorb_stragglers(job, lease)
+            with self._lock:
+                if not job.terminal:
+                    job.finish(JOB_CANCELLED, error=str(exc))
+                self.jobs_cancelled += 1
+        except Exception as exc:  # the job fails; the daemon must not
+            pool_poisoned = True
+            with self._lock:
+                if not job.terminal:
+                    job.finish(JOB_FAILED,
+                               error="%s: %s" % (type(exc).__name__, exc))
+                self.jobs_failed += 1
+        finally:
+            self._release_lease(job, lease, pool_poisoned, runtime_delta,
+                                stats_dict)
+
+    def _absorb_stragglers(self, job, lease):
+        """Bank whatever a cancelled job's workers still finished."""
+        if lease.pool is None:
+            return
+        try:
+            leftovers = lease.pool.quiesce(self.config.quiesce_seconds)
+            self.store.merge(job.namespace,
+                             (o.entry for o in leftovers
+                              if o.ok and not o.task.audit))
+        except Exception:
+            pass  # cleanup must not mask the cancellation
+
+    def _release_lease(self, job, lease, pool_poisoned, runtime_delta,
+                       stats_dict):
+        retired = None
+        with self._lock:
+            self.queue.note_finished(job)
+            self._job_threads.pop(job.job_id, None)
+            lease.busy = False
+            lease.jobs_served += 1
+            lease.last_used = time.monotonic()
+            if pool_poisoned and self._pools.get(job.namespace) is lease:
+                # A failed job's pool is never handed to another job:
+                # whatever broke it must not leak across tenants.
+                del self._pools[job.namespace]
+                retired = lease.pool
+                self.pools_retired += 1
+            aggregate = self._client_aggregate(job.client)
+            key = {JOB_DONE: "jobs_done", JOB_FAILED: "jobs_failed",
+                   JOB_CANCELLED: "jobs_cancelled"}.get(job.state)
+            if key:
+                aggregate[key] += 1
+            if runtime_delta is not None:
+                self._accumulate(aggregate["runtime"], runtime_delta)
+            if stats_dict is not None:
+                self._accumulate(aggregate["stats"], stats_dict)
+            self._jobs_since_flush += 1
+            flush_due = self._jobs_since_flush >= self.config.flush_every_jobs
+            if flush_due:
+                self._jobs_since_flush = 0
+        if retired is not None:
+            retired.shutdown()
+        if flush_due:
+            self.store.flush()
+        self._work.set()
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats_dict(self):
+        """The ``stats`` verb: service, per-client, pool, queue, cache."""
+        with self._lock:
+            by_state = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            pools = [{
+                "namespace": lease.namespace,
+                "program": lease.program_name,
+                "workers": lease.n_workers,
+                "transport": lease.transport,
+                "busy": lease.busy,
+                "jobs_served": lease.jobs_served,
+                "idle_seconds": (0.0 if lease.busy
+                                 else time.monotonic() - lease.last_used),
+            } for lease in sorted(self._pools.values(),
+                                  key=lambda l: l.namespace)]
+            clients = {name: {
+                "jobs_submitted": agg["jobs_submitted"],
+                "jobs_done": agg["jobs_done"],
+                "jobs_failed": agg["jobs_failed"],
+                "jobs_cancelled": agg["jobs_cancelled"],
+                "runtime": dict(agg["runtime"]),
+                "stats": dict(agg["stats"]),
+            } for name, agg in sorted(self._clients.items())}
+            return {
+                "socket": self.config.socket_path,
+                "uptime_seconds": (time.time() - self.started_at
+                                   if self.started_at else 0.0),
+                "draining": self._stop.is_set(),
+                "worker_budget": self.config.worker_budget,
+                "workers_committed": sum(l.n_workers
+                                         for l in self._pools.values()),
+                "connections_accepted": self.connections_accepted,
+                "requests_served": self.requests_served,
+                "protocol_errors": self.protocol_errors,
+                "jobs": dict(by_state, total=len(self._jobs),
+                             done=self.jobs_done, failed=self.jobs_failed,
+                             cancelled=self.jobs_cancelled),
+                "clients": clients,
+                "pools": pools,
+                "pools_created": self.pools_created,
+                "pools_retired": self.pools_retired,
+                "queue": self.queue.stats_dict(),
+                "cache": self.store.stats_dict(),
+            }

@@ -1,0 +1,387 @@
+"""SpeculationDaemon integration: multi-tenant jobs over a real socket.
+
+Everything here drives an in-process daemon through real unix-socket
+round trips — the same path ``repro submit`` takes — with real worker
+pools underneath. The flagship property is the ISSUE's: two clients
+running different programs concurrently both get final states
+byte-identical to a plain sequential run of their own program.
+"""
+
+import base64
+import os
+import threading
+import time
+
+import pytest
+
+from repro.bench import build_collatz, build_ising
+from repro.core.config import EngineConfig
+from repro.runtime import shm
+from repro.serve import (
+    ServeClient,
+    ServeClientError,
+    ServeConfig,
+    ServeError,
+    SpeculationDaemon,
+)
+from repro.serve.daemon import _PoolLease
+
+
+def engine_overrides(config):
+    """The JSON-safe overrides dict ``repro submit`` derives for a
+    workload's tuned EngineConfig."""
+    defaults = EngineConfig().__dict__
+    return {key: (list(value) if isinstance(value, tuple) else value)
+            for key, value in config.__dict__.items()
+            if defaults.get(key) != value}
+
+
+def sequential_state(program, limit=50_000_000):
+    machine = program.make_machine()
+    machine.run(max_instructions=limit)
+    assert machine.halted
+    return bytes(machine.state.buf)
+
+
+@pytest.fixture(scope="module")
+def collatz():
+    return build_collatz(count=120)
+
+
+@pytest.fixture(scope="module")
+def ising():
+    return build_ising(nodes=32, spins=4)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    config = ServeConfig(socket_path=str(tmp_path / "serve.sock"),
+                         cache_dir=str(tmp_path / "cache"),
+                         worker_budget=4, workers_per_job=2,
+                         max_concurrent_jobs=2)
+    instance = SpeculationDaemon(config).start()
+    yield instance
+    instance.close()
+
+
+def submit_options(workload):
+    return {"engine": engine_overrides(workload.config),
+            "inflight_wait_bias": 1e9}
+
+
+class TestSingleClient:
+    def test_submit_runs_byte_identical(self, daemon, collatz):
+        expected = sequential_state(collatz.program)
+        with ServeClient(daemon.config.socket_path, client="t1") as client:
+            result = client.run(collatz.program, **submit_options(collatz))
+        assert result["halted"]
+        assert base64.b64decode(result["final_state"]) == expected
+        assert result["namespace"] == collatz.program.image_hash()
+        assert result["merged_entries"] > 0
+
+    def test_warm_resubmission_reuses_cache(self, daemon, collatz):
+        with ServeClient(daemon.config.socket_path, client="t1") as client:
+            cold = client.run(collatz.program, **submit_options(collatz))
+            warm = client.run(collatz.program, **submit_options(collatz))
+        assert cold["warm_entries"] == 0
+        assert warm["warm_entries"] > 0
+        assert warm["hits"] > 0
+        # The warm run rediscovers segments the shard already holds;
+        # dedup keeps the shard from growing a copy per run.
+        assert warm["merged_entries"] < cold["merged_entries"]
+        assert warm["final_state"] == cold["final_state"]
+
+    def test_per_job_runtime_delta_not_cumulative(self, daemon, collatz):
+        with ServeClient(daemon.config.socket_path, client="t1") as client:
+            first = client.run(collatz.program, **submit_options(collatz))
+            second = client.run(collatz.program, **submit_options(collatz))
+        # Shared pool, cumulative pool.stats — but each job reports its
+        # own slice.
+        assert first["runtime"]["tasks_dispatched"] > 0
+        total = (first["runtime"]["tasks_dispatched"]
+                 + second["runtime"]["tasks_dispatched"])
+        with ServeClient(daemon.config.socket_path, client="t1") as client:
+            stats = client.stats()
+        aggregate = stats["clients"]["t1"]["runtime"]["tasks_dispatched"]
+        assert aggregate == total
+
+    def test_poll_and_result_verbs(self, daemon, collatz):
+        with ServeClient(daemon.config.socket_path, client="t1") as client:
+            job_id = client.submit(collatz.program,
+                                   **submit_options(collatz))["job_id"]
+            job = client.wait(job_id)
+            assert job["state"] == "done"
+            assert job["hits"] is not None
+            slim = client.result(job_id, include_state=False)
+            assert "final_state" not in slim
+            assert slim["state_sha256"]
+            full = client.result(job_id)
+            assert "final_state" in full
+
+    def test_state_roundtrip_via_final_state_helper(self, daemon, collatz):
+        expected = sequential_state(collatz.program)
+        with ServeClient(daemon.config.socket_path, client="t1") as client:
+            job_id = client.submit(collatz.program,
+                                   **submit_options(collatz))["job_id"]
+            client.wait(job_id)
+            assert client.final_state(job_id) == expected
+
+
+class TestMultiTenant:
+    def test_concurrent_clients_both_byte_identical(self, daemon, collatz,
+                                                    ising):
+        """Two tenants, two programs, one daemon — each final state must
+        match its own sequential reference (the acceptance criterion)."""
+        references = {
+            "alice": (collatz, sequential_state(collatz.program)),
+            "bob": (ising, sequential_state(ising.program)),
+        }
+        outcomes = {}
+
+        def run_tenant(name):
+            workload, expected = references[name]
+            try:
+                with ServeClient(daemon.config.socket_path,
+                                 client=name) as client:
+                    result = client.run(workload.program,
+                                        **submit_options(workload))
+                outcomes[name] = (
+                    result["halted"],
+                    base64.b64decode(result["final_state"]) == expected)
+            except Exception as exc:  # surfaced by the assert below
+                outcomes[name] = exc
+
+        threads = [threading.Thread(target=run_tenant, args=(name,))
+                   for name in references]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert outcomes == {"alice": (True, True), "bob": (True, True)}
+
+    def test_namespaces_isolated_per_image(self, daemon, collatz, ising):
+        with ServeClient(daemon.config.socket_path, client="a") as client:
+            client.run(collatz.program, **submit_options(collatz))
+            client.run(ising.program, **submit_options(ising))
+            stats = client.stats()
+        cache = stats["cache"]
+        assert cache["namespaces"] == 2
+        assert collatz.program.image_hash() in cache["shards"]
+        assert ising.program.image_hash() in cache["shards"]
+        # A different image never sees collatz's entries as warm.
+        with ServeClient(daemon.config.socket_path, client="a") as client:
+            warm = client.submit(ising.program,
+                                 **submit_options(ising))["warm_entries"]
+            assert warm == stats["cache"]["shards"][
+                ising.program.image_hash()]["entries"]
+
+    def test_per_client_stats_aggregation(self, daemon, collatz):
+        for name in ("alice", "bob"):
+            with ServeClient(daemon.config.socket_path,
+                             client=name) as client:
+                client.run(collatz.program, **submit_options(collatz))
+        with ServeClient(daemon.config.socket_path, client="x") as client:
+            stats = client.stats()
+            rows = client.jobs()
+        for name in ("alice", "bob"):
+            aggregate = stats["clients"][name]
+            assert aggregate["jobs_submitted"] == 1
+            assert aggregate["jobs_done"] == 1
+            assert aggregate["stats"]["hits"] >= 0
+            assert aggregate["runtime"]["tasks_dispatched"] > 0
+        assert {row["client"] for row in rows} == {"alice", "bob"}
+
+
+class TestFailureContainment:
+    def test_failed_job_does_not_poison_daemon(self, daemon, collatz,
+                                               monkeypatch):
+        def explode(job):
+            raise RuntimeError("synthetic engine failure")
+
+        monkeypatch.setattr(SpeculationDaemon, "_engine_config",
+                            staticmethod(explode))
+        with ServeClient(daemon.config.socket_path, client="victim") as c:
+            job_id = c.submit(collatz.program)["job_id"]
+            job = c.wait(job_id)
+        assert job["state"] == "failed"
+        assert "synthetic engine failure" in job["error"]
+        monkeypatch.undo()
+        # The failed job's pool was retired; a healthy client is served
+        # by a fresh one and the namespace is intact.
+        expected = sequential_state(collatz.program)
+        with ServeClient(daemon.config.socket_path, client="healthy") as c:
+            result = c.run(collatz.program, **submit_options(collatz))
+            stats = c.stats()
+        assert base64.b64decode(result["final_state"]) == expected
+        assert stats["jobs"]["failed"] == 1
+        assert stats["pools_retired"] >= 1
+
+    def test_result_of_failed_job_reports_error_code(self, daemon, collatz,
+                                                     monkeypatch):
+        monkeypatch.setattr(
+            SpeculationDaemon, "_engine_config",
+            staticmethod(lambda job: (_ for _ in ()).throw(
+                RuntimeError("nope"))))
+        with ServeClient(daemon.config.socket_path, client="v") as client:
+            job_id = client.submit(collatz.program)["job_id"]
+            client.wait(job_id)
+            with pytest.raises(ServeClientError) as info:
+                client.result(job_id)
+            assert info.value.code == "not-done"
+
+    def test_bad_requests_are_rejected_not_fatal(self, daemon, collatz):
+        with ServeClient(daemon.config.socket_path, client="t") as client:
+            with pytest.raises(ServeClientError) as info:
+                client.request("submit", client="t", program={"bogus": 1},
+                               options={})
+            assert info.value.code == "bad-program"
+            with pytest.raises(ServeClientError) as info:
+                client.submit(collatz.program, not_an_option=1)
+            assert info.value.code == "bad-request"
+            with pytest.raises(ServeClientError) as info:
+                client.submit(collatz.program, engine={"bogus_knob": 1})
+            assert info.value.code == "bad-request"
+            with pytest.raises(ServeClientError) as info:
+                client.request("frobnicate")
+            assert info.value.code == "bad-verb"
+            with pytest.raises(ServeClientError) as info:
+                client.poll("no-such-job")
+            assert info.value.code == "not-found"
+            # The connection survives all of it.
+            assert client.ping()["pong"]
+
+    def test_backpressure_rejects_over_backlog(self, tmp_path, collatz):
+        config = ServeConfig(socket_path=str(tmp_path / "bp.sock"),
+                             max_queued_per_client=0)
+        with SpeculationDaemon(config).start() as daemon:
+            with ServeClient(daemon.config.socket_path, client="t") as c:
+                with pytest.raises(ServeClientError) as info:
+                    c.submit(collatz.program)
+                assert info.value.code == "busy"
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, tmp_path, collatz):
+        config = ServeConfig(socket_path=str(tmp_path / "c.sock"),
+                             max_concurrent_jobs=1,
+                             max_running_per_client=1)
+        with SpeculationDaemon(config).start() as daemon:
+            with ServeClient(daemon.config.socket_path, client="t") as c:
+                first = c.submit(collatz.program,
+                                 **submit_options(collatz))["job_id"]
+                # Same client, running bound 1: the second job queues.
+                second = c.submit(collatz.program,
+                                  **submit_options(collatz))["job_id"]
+                response = c.cancel(second)
+                assert response["cancelled"]
+                assert c.wait(second)["state"] == "cancelled"
+                assert c.wait(first)["state"] == "done"
+
+    def test_cancel_running_job_stops_at_boundary(self, tmp_path):
+        big = build_collatz(count=20_000)
+        config = ServeConfig(socket_path=str(tmp_path / "c.sock"))
+        with SpeculationDaemon(config).start() as daemon:
+            with ServeClient(daemon.config.socket_path, client="t") as c:
+                job_id = c.submit(big.program,
+                                  **submit_options(big))["job_id"]
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    if c.poll(job_id)["state"] == "running":
+                        break
+                    time.sleep(0.01)
+                c.cancel(job_id)
+                job = c.wait(job_id, timeout=60)
+        # Ran long enough to be cancelled mid-flight, or finished first
+        # on a fast machine — either way the daemon stays consistent.
+        assert job["state"] in ("cancelled", "done")
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_cleans_up(self, tmp_path, collatz):
+        config = ServeConfig(socket_path=str(tmp_path / "l.sock"),
+                             cache_dir=str(tmp_path / "cache"))
+        daemon = SpeculationDaemon(config).start()
+        with ServeClient(config.socket_path, client="t") as client:
+            client.run(collatz.program, **submit_options(collatz))
+        daemon.close()
+        daemon.close()  # second close: no-op, no exception
+        assert not os.path.exists(config.socket_path)
+        assert shm.live_segment_names() == []
+        # The shard hit disk even though no explicit flush was asked.
+        shard = os.path.join(str(tmp_path / "cache"),
+                             collatz.program.image_hash() + ".tcache")
+        assert os.path.exists(shard)
+
+    def test_double_request_stop_is_safe(self, tmp_path):
+        config = ServeConfig(socket_path=str(tmp_path / "l.sock"))
+        daemon = SpeculationDaemon(config).start()
+        daemon.request_stop()
+        daemon.request_stop()  # double-SIGTERM shape: escalates, no raise
+        daemon.close()
+        assert not os.path.exists(config.socket_path)
+
+    def test_two_daemons_same_socket_refused(self, tmp_path):
+        config = ServeConfig(socket_path=str(tmp_path / "l.sock"))
+        daemon = SpeculationDaemon(config).start()
+        try:
+            with pytest.raises(ServeError):
+                SpeculationDaemon(config).start()
+        finally:
+            daemon.close()
+
+    def test_stale_socket_file_is_replaced(self, tmp_path):
+        path = str(tmp_path / "l.sock")
+        (tmp_path / "l.sock").write_bytes(b"")  # unclean previous exit
+        config = ServeConfig(socket_path=path)
+        daemon = SpeculationDaemon(config).start()
+        try:
+            with ServeClient(path, client="t") as client:
+                assert client.ping()["pong"]
+        finally:
+            daemon.close()
+
+    def test_shutdown_verb_stops_daemon(self, tmp_path):
+        config = ServeConfig(socket_path=str(tmp_path / "l.sock"))
+        daemon = SpeculationDaemon(config).start()
+        with ServeClient(config.socket_path, client="t") as client:
+            assert client.shutdown()["stopping"]
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and not daemon._stop.is_set():
+            time.sleep(0.02)
+        assert daemon._stop.is_set()
+        daemon.close()
+        assert not os.path.exists(config.socket_path)
+
+
+class TestResourceManager:
+    def test_idle_pool_retired_lru_for_new_image(self, tmp_path, collatz,
+                                                 ising):
+        # Budget fits exactly one 2-worker pool: the second image must
+        # evict the first (idle) pool instead of being refused.
+        config = ServeConfig(socket_path=str(tmp_path / "r.sock"),
+                             worker_budget=2, workers_per_job=2,
+                             max_concurrent_jobs=1)
+        with SpeculationDaemon(config).start() as daemon:
+            with ServeClient(config.socket_path, client="t") as client:
+                client.run(collatz.program, **submit_options(collatz))
+                client.run(ising.program, **submit_options(ising))
+                stats = client.stats()
+            assert stats["pools_created"] == 2
+            assert stats["pools_retired"] >= 1
+            assert stats["workers_committed"] <= config.worker_budget
+
+    def test_runnable_veto_respects_budget(self, tmp_path, collatz):
+        config = ServeConfig(socket_path=str(tmp_path / "r.sock"),
+                             worker_budget=2, workers_per_job=2)
+        daemon = SpeculationDaemon(config)
+        try:
+            busy = _PoolLease("f" * 16, "other", 2, None)
+            daemon._pools[busy.namespace] = busy  # all budget committed
+            job = type("J", (), {"namespace": "e" * 16,
+                                 "options": {},
+                                 "program": collatz.program})()
+            assert not daemon._runnable(job)
+            busy.busy = False  # idle pools are reclaimable
+            assert daemon._runnable(job)
+        finally:
+            daemon.close()

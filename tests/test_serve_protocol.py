@@ -1,0 +1,107 @@
+"""Serve protocol: framing, bounds, and failure modes."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.serve import protocol
+
+
+def socket_pair():
+    return socket.socketpair()
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket_pair()
+        try:
+            protocol.send_message(a, {"verb": "ping", "n": 7})
+            message = protocol.recv_message(b)
+            assert message == {"verb": "ping", "n": 7}
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_in_order(self):
+        a, b = socket_pair()
+        try:
+            for i in range(5):
+                protocol.send_message(a, {"i": i})
+            for i in range(5):
+                assert protocol.recv_message(b) == {"i": i}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket_pair()
+        try:
+            a.close()
+            assert protocol.recv_message(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_is_protocol_error(self):
+        a, b = socket_pair()
+        try:
+            frame = protocol.encode_message({"verb": "ping"})
+            a.sendall(frame[:len(frame) - 3])  # truncate the body
+            a.close()
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_message(b)
+        finally:
+            b.close()
+
+    def test_oversized_length_rejected_without_allocation(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(struct.pack("!I", protocol.MAX_FRAME_BYTES + 1))
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_zero_length_rejected(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(struct.pack("!I", 0))
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_send_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_message(
+                {"blob": "x" * (protocol.MAX_FRAME_BYTES + 1)})
+
+
+class TestBody:
+    def test_non_object_body_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_body(b"[1, 2, 3]")
+
+    def test_undecodable_body_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_body(b"\xff\xfe not json")
+
+    def test_responses(self):
+        ok = protocol.ok_response(x=1)
+        assert ok["ok"] is True and ok["x"] == 1
+        err = protocol.error_response(ValueError("boom"), code="internal")
+        assert err["ok"] is False
+        assert err["code"] == "internal"
+        assert "boom" in err["error"]
+
+
+class TestDaemonRunning:
+    def test_no_socket_means_not_running(self, tmp_path):
+        assert not protocol.daemon_running(str(tmp_path / "missing.sock"))
+
+    def test_stale_file_means_not_running(self, tmp_path):
+        stale = tmp_path / "stale.sock"
+        stale.write_bytes(b"")
+        assert not protocol.daemon_running(str(stale))

@@ -1,0 +1,162 @@
+"""Daemon restart persistence and SIGTERM lifecycle.
+
+The cross-run story: client A's jobs populate a namespace shard, the
+daemon stops (cleanly or by signal), a fresh daemon reloads the shard,
+and client B — same program image, different client — starts warm. A
+shard tainted on disk between runs is quarantined, never loaded.
+"""
+
+import base64
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.bench import build_collatz
+from repro.core.config import EngineConfig
+from repro.serve import ServeClient, ServeConfig, SpeculationDaemon
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+def engine_overrides(config):
+    defaults = EngineConfig().__dict__
+    return {key: (list(value) if isinstance(value, tuple) else value)
+            for key, value in config.__dict__.items()
+            if defaults.get(key) != value}
+
+
+def submit_options(workload):
+    return {"engine": engine_overrides(workload.config),
+            "inflight_wait_bias": 1e9}
+
+
+@pytest.fixture(scope="module")
+def collatz():
+    return build_collatz(count=120)
+
+
+def sequential_state(program):
+    machine = program.make_machine()
+    machine.run(max_instructions=50_000_000)
+    assert machine.halted
+    return bytes(machine.state.buf)
+
+
+class TestRestartPersistence:
+    def test_warm_restart_across_daemon_generations(self, tmp_path,
+                                                    collatz):
+        cache_dir = str(tmp_path / "cache")
+        expected = sequential_state(collatz.program)
+
+        # Generation 1: client A populates the namespace.
+        config = ServeConfig(socket_path=str(tmp_path / "g1.sock"),
+                             cache_dir=cache_dir)
+        with SpeculationDaemon(config).start() as daemon:
+            with ServeClient(config.socket_path, client="A") as client:
+                cold = client.run(collatz.program,
+                                  **submit_options(collatz))
+            assert cold["warm_entries"] == 0
+            daemon.close()
+
+        shard = os.path.join(cache_dir,
+                             collatz.program.image_hash() + ".tcache")
+        assert os.path.exists(shard)
+
+        # Generation 2: a different client, same image hash, starts warm.
+        config2 = ServeConfig(socket_path=str(tmp_path / "g2.sock"),
+                              cache_dir=cache_dir)
+        with SpeculationDaemon(config2).start() as daemon2:
+            assert daemon2.store.stats_dict()["shards_loaded"] == 1
+            with ServeClient(config2.socket_path, client="B") as client:
+                warm = client.run(collatz.program,
+                                  **submit_options(collatz))
+        assert warm["warm_entries"] == cold["merged_entries"]
+        assert warm["hits"] > 0
+        assert base64.b64decode(warm["final_state"]) == expected
+
+    def test_tainted_shard_quarantined_on_restart(self, tmp_path, collatz):
+        cache_dir = str(tmp_path / "cache")
+        config = ServeConfig(socket_path=str(tmp_path / "g1.sock"),
+                             cache_dir=cache_dir)
+        with SpeculationDaemon(config).start() as daemon:
+            with ServeClient(config.socket_path, client="A") as client:
+                client.run(collatz.program, **submit_options(collatz))
+            daemon.close()
+
+        shard = os.path.join(cache_dir,
+                             collatz.program.image_hash() + ".tcache")
+        with open(shard, "r+b") as handle:
+            handle.write(b"\x00" * 32)  # structural damage
+
+        config2 = ServeConfig(socket_path=str(tmp_path / "g2.sock"),
+                              cache_dir=cache_dir)
+        with SpeculationDaemon(config2).start() as daemon2:
+            stats = daemon2.store.stats_dict()
+            assert stats["shards_quarantined"] == 1
+            assert stats["total_entries"] == 0
+            assert os.path.exists(shard + ".quarantined")
+            assert not os.path.exists(shard)
+            # The namespace works cold and repopulates.
+            with ServeClient(config2.socket_path, client="B") as client:
+                result = client.run(collatz.program,
+                                    **submit_options(collatz))
+            assert result["warm_entries"] == 0
+            assert result["halted"]
+
+
+def wait_for_socket(path, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            return True
+        time.sleep(0.05)
+    return False
+
+
+@pytest.fixture
+def serve_process(tmp_path):
+    """A real ``repro serve`` child process on its own socket."""
+    socket_path = str(tmp_path / "proc.sock")
+    cache_dir = str(tmp_path / "cache")
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", socket_path,
+         "--cache-dir", cache_dir, "--worker-budget", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    assert wait_for_socket(socket_path), "daemon never bound its socket"
+    yield process, socket_path, cache_dir
+    if process.poll() is None:
+        process.kill()
+    process.wait(timeout=10)
+
+
+class TestSigterm:
+    def test_sigterm_drains_flushes_and_unlinks(self, serve_process,
+                                                collatz):
+        process, socket_path, cache_dir = serve_process
+        with ServeClient(socket_path, client="A") as client:
+            result = client.run(collatz.program, **submit_options(collatz))
+        assert result["halted"]
+
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=60) == 0
+        assert not os.path.exists(socket_path)
+        shard = os.path.join(cache_dir,
+                             collatz.program.image_hash() + ".tcache")
+        assert os.path.exists(shard)
+
+    def test_double_sigterm_still_exits_cleanly(self, serve_process,
+                                                collatz):
+        process, socket_path, __ = serve_process
+        with ServeClient(socket_path, client="A") as client:
+            client.ping()
+        process.send_signal(signal.SIGTERM)
+        process.send_signal(signal.SIGTERM)  # escalation path, not a crash
+        assert process.wait(timeout=60) == 0
+        assert not os.path.exists(socket_path)
