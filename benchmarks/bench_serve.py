@@ -24,6 +24,9 @@ and warm wall beating cold wall.
 """
 
 import base64
+import os
+import subprocess
+import sys
 import time
 
 from conftest import PROFILE, publish, publish_metrics
@@ -32,6 +35,9 @@ from repro.bench import build_collatz, build_ising
 from repro.core.config import EngineConfig
 from repro.runtime import RealParallelEngine, RuntimeConfig
 from repro.serve import ServeClient, ServeConfig, SpeculationDaemon
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
 
 _SIZES = {
     "full": dict(collatz_count=4000, ising_nodes=128, ising_spins=6,
@@ -171,6 +177,87 @@ def test_serve_ising(tmp_path):
     _bench_workload("ising",
                     build_ising(nodes=SIZES["ising_nodes"],
                                 spins=SIZES["ising_spins"]), tmp_path)
+
+
+def _start_serve(socket_path, cache_dir):
+    try:
+        os.unlink(socket_path)  # stale after a SIGKILL
+    except OSError:
+        pass
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", socket_path,
+         "--cache-dir", cache_dir,
+         "--worker-budget", str(SIZES["workers"])],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if os.path.exists(socket_path):
+            return proc
+        assert proc.poll() is None, "daemon died during startup"
+        time.sleep(0.02)
+    raise AssertionError("daemon never bound %s" % socket_path)
+
+
+def test_serve_recovery(tmp_path):
+    """The crash-only leg: SIGKILL the daemon mid-work, restart it, and
+    measure how long until the journaled job is replayed to a
+    byte-identical result. ``restart_seconds`` is socket-to-socket
+    (boot + journal replay); ``replay_to_done_seconds`` is what a
+    polling client experiences end to end."""
+    workload = build_collatz(count=SIZES["collatz_count"])
+    __, expected = _sequential(workload.program)
+
+    socket_path = str(tmp_path / "recovery.sock")
+    cache_dir = str(tmp_path / "recovery-cache")
+    gen1 = _start_serve(socket_path, cache_dir)
+    try:
+        with ServeClient(socket_path, client="bench") as client:
+            submitted = client.submit(
+                workload.program,
+                engine=_engine_overrides(workload.config),
+                inflight_wait_bias=1e9)
+            token = submitted["token"]
+        killed_at = time.perf_counter()
+        gen1.kill()
+        gen1.wait(timeout=30)
+
+        gen2 = _start_serve(socket_path, cache_dir)
+        try:
+            client = ServeClient(socket_path, client="bench", retries=8)
+            status = client.status()
+            restart_seconds = time.perf_counter() - killed_at
+            job = client.wait(token=token, timeout=600.0)
+            replay_seconds = time.perf_counter() - killed_at
+            final = client.final_state(token=token)
+            client.close()
+        finally:
+            gen2.terminate()
+            gen2.wait(timeout=30)
+    finally:
+        if gen1.poll() is None:
+            gen1.kill()
+            gen1.wait(timeout=30)
+
+    assert job["state"] == "done"
+    assert job["restored"] is True
+    assert final == expected
+
+    record = {
+        "restart_seconds": restart_seconds,
+        "replay_to_done_seconds": replay_seconds,
+        "jobs_replayed": status["jobs"]["replayed"],
+        "jobs_requeued": status["jobs"]["requeued"],
+    }
+    _RECORDED["recovery"] = record
+    publish("serve_recovery", "\n".join([
+        "recovery: SIGKILL mid-job, restart, journal replay "
+        "(collatz %d)" % SIZES["collatz_count"],
+        "  restart (socket back + replayed)  %.3fs" % restart_seconds,
+        "  client sees the result            %.3fs" % replay_seconds,
+        "  jobs replayed %d, requeued %d"
+        % (record["jobs_replayed"], record["jobs_requeued"]),
+    ]))
 
 
 def test_publish_serve_json():

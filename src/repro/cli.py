@@ -9,7 +9,9 @@ Usage (also available as ``python -m repro``)::
     repro scale kernel.c --cores 4,16,32 --platform server32
     repro memoize kernel.c
     repro chaos collatz --seed 42 --kills 2 --timeouts 2 --corrupts 1
+    repro chaos collatz --serve --daemon-kills 1 --journal-truncs 1
     repro serve --cache-dir ~/.cache/repro --worker-budget 8
+    repro serve --status
     repro submit kernel.c --global result
     repro jobs --json
 
@@ -457,11 +459,176 @@ def _chaos_workload(args):
     return workload.program, workload.config
 
 
+def _engine_overrides(config):
+    """Diff an :class:`EngineConfig` against the defaults — the dict a
+    submit verb ships so the daemon rebuilds the same tuned config."""
+    defaults = EngineConfig().__dict__
+    overrides = {}
+    for key, value in config.__dict__.items():
+        if defaults.get(key) != value:
+            overrides[key] = list(value) if isinstance(value, tuple) \
+                else value
+    return overrides
+
+
+def _chaos_serve(args):
+    """Service-tier chaos: drive a real ``repro serve`` subprocess under
+    a seeded plan of daemon SIGKILLs, dropped client connections, and
+    torn journal tails, and assert the submitted job's final state is
+    still byte-identical to a plain sequential run.
+
+    One plan event is one client poll round; faults drawn between polls
+    land at seeded, reproducible points of the job's life. The job is
+    tracked purely by its idempotency token — the thing the journal
+    guarantees survives any restart."""
+    import os
+    import shutil
+    import subprocess
+    import tempfile
+    import time
+
+    from repro.runtime import FaultPlan
+    from repro.serve import ServeClient, ServeClientError
+
+    program, config = _chaos_workload(args)
+    plan = FaultPlan(seed=args.seed,
+                     daemon_kills=args.daemon_kills,
+                     conn_drops=args.conn_drops,
+                     journal_truncs=args.journal_truncs,
+                     start_after=1, spacing=args.spacing)
+    sequential = program.make_machine()
+    sequential.run(max_instructions=args.max_instructions)
+    expected = bytes(sequential.state.buf)
+
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-serve-")
+    socket_path = os.path.join(workdir, "serve.sock")
+    cache_dir = os.path.join(workdir, "cache")
+    journal_path = os.path.join(cache_dir, "journal", "journal.ascj")
+    import repro
+    pkg_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = pkg_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+
+    def start_daemon():
+        try:
+            os.unlink(socket_path)  # stale after a SIGKILL; a fresh
+        except OSError:             # bind is the readiness signal
+            pass
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--socket", socket_path, "--cache-dir", cache_dir,
+             "--worker-budget", str(args.workers),
+             "--max-instructions", str(args.max_instructions),
+             "--task-timeout", str(args.task_timeout)],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if os.path.exists(socket_path):
+                return proc
+            if proc.poll() is not None:
+                raise RuntimeError("daemon exited with %d before binding %s"
+                                   % (proc.returncode, socket_path))
+            time.sleep(0.05)
+        proc.kill()
+        raise RuntimeError("daemon never bound %s" % socket_path)
+
+    options = {"max_instructions": args.max_instructions,
+               "inflight_wait_bias": 1e9}
+    overrides = _engine_overrides(config)
+    if overrides:
+        options["engine"] = overrides
+
+    restarts = 0
+    proc = start_daemon()
+    try:
+        client = ServeClient(socket_path, client="chaos", retries=10,
+                             timeout=args.timeout)
+        submitted = client.submit(program, **options)
+        token = submitted["token"]
+        deadline = time.monotonic() + args.timeout
+        job = None
+        # Keep polling until the job is terminal AND every scheduled
+        # fault has been spent — a daemon_kill after completion still
+        # proves the result store survives a restart.
+        while time.monotonic() < deadline:
+            kind = plan.next_serve_fault()
+            if kind == "daemon_kill":
+                proc.kill()
+                proc.wait(timeout=30)
+                proc = start_daemon()
+                restarts += 1
+            elif kind == "conn_drop":
+                client.close()  # next request reconnects transparently
+            elif kind == "journal_trunc":
+                proc.kill()
+                proc.wait(timeout=30)
+                if os.path.exists(journal_path):
+                    size = os.path.getsize(journal_path)
+                    if size:
+                        os.truncate(
+                            journal_path,
+                            max(0, size - plan.truncate_tail_bytes(size)))
+                proc = start_daemon()
+                restarts += 1
+            try:
+                job = client.poll(token=token)
+            except ServeClientError as exc:
+                if exc.code == "not-found":
+                    # The torn tail ate the submit record itself; the
+                    # token makes resubmission idempotent and correct.
+                    client.submit(program, token=token, **options)
+                    continue
+                raise
+            if (job["state"] in ("done", "failed", "cancelled")
+                    and plan.exhausted):
+                break
+            time.sleep(0.1)
+        if job is None or job["state"] != "done":
+            raise ServeClientError(
+                "job %s under serve chaos: %s"
+                % (token, job["state"] if job else "never polled"))
+        final = client.final_state(token=token)
+        client.close()
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=30)
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    identical = final == expected
+    payload = {
+        "program": program.name,
+        "seed": args.seed,
+        "identical": identical,
+        "restarts": restarts,
+        "plan": plan.as_dict(),
+        "job": job,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print("chaos --serve %s seed=%d: injected %s across %d restarts"
+              % (program.name, args.seed,
+                 dict(plan.injected) or "nothing", restarts))
+        print("final state %s sequential reference"
+              % ("IDENTICAL to" if identical else "DIVERGES from"))
+    return 0 if identical and plan.exhausted else 1
+
+
 def cmd_chaos(args):
     """Run a workload under a seeded fault schedule and assert that the
     final state is byte-identical to a plain sequential run — the ASC
     correctness property under adversarial infrastructure."""
     from repro.runtime import FaultPlan, RealParallelEngine, RuntimeConfig
+
+    if args.serve:
+        return _chaos_serve(args)
 
     program, config = _chaos_workload(args)
     plan = FaultPlan(seed=args.seed, kills=args.kills,
@@ -598,7 +765,12 @@ def _serve_config(args):
         drain_seconds=args.drain_seconds,
         max_instructions=args.max_instructions,
         task_timeout_seconds=args.task_timeout,
-        transport=getattr(args, "transport", None))
+        transport=getattr(args, "transport", None),
+        journal_dir=getattr(args, "journal_dir", None),
+        journal_fsync=getattr(args, "journal_fsync", True),
+        job_deadline_seconds=getattr(args, "job_deadline", None),
+        no_progress_seconds=getattr(args, "no_progress_seconds", 20.0),
+        kill_grace_seconds=getattr(args, "kill_grace_seconds", 5.0))
 
 
 def cmd_serve(args):
@@ -607,6 +779,20 @@ def cmd_serve(args):
 
     from repro.serve import (ServeClient, ServeClientError, ServeError,
                              SpeculationDaemon)
+
+    if args.status or args.ping:
+        try:
+            with ServeClient(socket_path=args.socket, retries=0) as client:
+                if args.status:
+                    print(json.dumps(client.status(), indent=2,
+                                     sort_keys=True))
+                else:
+                    client.ping()
+                    print("ok: daemon on %s" % client.socket_path)
+        except ServeClientError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        return 0
 
     if args.stop:
         try:
@@ -655,13 +841,7 @@ def _submit_target(args):
     else:
         program = load_program(target)
         config = _engine_config(args)
-    defaults = EngineConfig().__dict__
-    overrides = {}
-    for key, value in config.__dict__.items():
-        if defaults.get(key) != value:
-            overrides[key] = list(value) if isinstance(value, tuple) \
-                else value
-    return program, overrides
+    return program, _engine_overrides(config)
 
 
 def cmd_submit(args):
@@ -685,13 +865,15 @@ def cmd_submit(args):
         options["strict_verify"] = True
     if getattr(args, "verify_rate", None) is not None:
         options["verify_rate"] = args.verify_rate
+    if getattr(args, "deadline", None) is not None:
+        options["deadline_seconds"] = args.deadline
     if engine_overrides:
         options["engine"] = engine_overrides
 
     try:
         with ServeClient(socket_path=args.socket, client=args.client,
                          timeout=args.timeout) as client:
-            submitted = client.submit(program, **options)
+            submitted = client.submit(program, token=args.token, **options)
             job_id = submitted["job_id"]
             if args.no_wait:
                 if args.json:
@@ -939,6 +1121,23 @@ def build_parser():
     p.add_argument("--min-superstep", type=int, dest="min_superstep")
     p.add_argument("--hints", action="store_true")
     p.add_argument("--json", action="store_true")
+    p.add_argument("--serve", action="store_true",
+                   help="service-tier chaos: drive a real daemon "
+                        "subprocess, injecting --daemon-kills/"
+                        "--conn-drops/--journal-truncs instead of "
+                        "worker faults")
+    p.add_argument("--daemon-kills", dest="daemon_kills", type=int,
+                   default=1, help="with --serve: SIGKILL the daemon "
+                                   "mid-job this many times")
+    p.add_argument("--conn-drops", dest="conn_drops", type=int, default=1,
+                   help="with --serve: drop the client connection "
+                        "mid-poll this many times")
+    p.add_argument("--journal-truncs", dest="journal_truncs", type=int,
+                   default=1,
+                   help="with --serve: tear the journal tail before a "
+                        "restart this many times")
+    p.add_argument("--timeout", type=float, default=180.0,
+                   help="with --serve: overall scenario deadline")
     add_transport_flag(p)
     p.set_defaults(func=cmd_chaos)
 
@@ -978,6 +1177,11 @@ def build_parser():
                         "a per-user path under the temp dir)")
     p.add_argument("--stop", action="store_true",
                    help="ask the daemon on --socket to drain and exit")
+    p.add_argument("--status", action="store_true",
+                   help="print the daemon's health probe (journal, "
+                        "watchdog, degraded mode) as JSON and exit")
+    p.add_argument("--ping", action="store_true",
+                   help="exit 0 iff a daemon answers on --socket")
     p.add_argument("--no-drain", dest="no_drain", action="store_true",
                    help="with --stop: cancel running jobs instead of "
                         "draining them")
@@ -1005,6 +1209,22 @@ def build_parser():
                    help="per-job default instruction limit")
     p.add_argument("--task-timeout", dest="task_timeout", type=float,
                    default=30.0)
+    p.add_argument("--journal-dir", dest="journal_dir",
+                   help="job journal directory (default: "
+                        "<cache-dir>/journal when --cache-dir is set)")
+    p.add_argument("--no-journal-fsync", dest="journal_fsync",
+                   action="store_false",
+                   help="skip fsync on journal appends (faster, weaker "
+                        "crash durability)")
+    p.add_argument("--job-deadline", dest="job_deadline", type=float,
+                   help="default per-job wall-clock deadline, seconds")
+    p.add_argument("--no-progress-seconds", dest="no_progress_seconds",
+                   type=float, default=20.0,
+                   help="kill a job after this long without a superstep "
+                        "heartbeat")
+    p.add_argument("--kill-grace-seconds", dest="kill_grace_seconds",
+                   type=float, default=5.0,
+                   help="grace between watchdog escalation stages")
     add_transport_flag(p)
     p.set_defaults(func=cmd_serve)
 
@@ -1031,6 +1251,12 @@ def build_parser():
                         "warm-cache runs deterministic)")
     p.add_argument("--no-wait", dest="no_wait", action="store_true",
                    help="print the job id and return immediately")
+    p.add_argument("--token",
+                   help="idempotency token (default: random; resubmit "
+                        "with the same token to dedup onto the original "
+                        "job, even across a daemon restart)")
+    p.add_argument("--deadline", type=float,
+                   help="per-job wall-clock deadline, seconds")
     p.add_argument("--timeout", type=float, default=120.0,
                    help="seconds to wait for the result")
     p.add_argument("--reg", action="append",

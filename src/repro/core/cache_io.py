@@ -40,6 +40,50 @@ _HEADER = struct.Struct("<4sHI")
 _ENTRY = struct.Struct("<IQIBII")
 _CRC = struct.Struct("<I")
 
+#: Shared section framing: ``[4B tag | u64 length | payload | u32 CRC]``.
+#: Checkpoints (:mod:`repro.core.checkpoint`) and the serve job journal
+#: (:mod:`repro.serve.journal`) both persist through this one frame
+#: shape, so every durable artifact in the repo rejects torn or
+#: bit-rotted payloads the same way.
+SECTION_HEADER = struct.Struct("<4sQ")
+SECTION_CRC = _CRC
+
+
+def encode_section(tag, payload):
+    """One CRC'd section frame: tag + length + payload + CRC32."""
+    if len(tag) != 4:
+        raise EngineError("section tag must be exactly 4 bytes")
+    return (SECTION_HEADER.pack(tag, len(payload)) + payload
+            + SECTION_CRC.pack(zlib.crc32(payload) & 0xFFFFFFFF))
+
+
+def decode_section(data, pos=0, max_payload=None):
+    """Decode one section at ``pos``; returns ``(tag, payload, end)``.
+
+    Raises :class:`~repro.errors.EngineError` on any structural damage:
+    a truncated header or payload, a declared length past the end of
+    the buffer (or past ``max_payload``), or a CRC mismatch. Callers
+    that append sections to a log treat the error position as the torn
+    tail — everything before ``pos`` stays trustworthy.
+    """
+    if pos + SECTION_HEADER.size > len(data):
+        raise EngineError("truncated section header")
+    tag, length = SECTION_HEADER.unpack_from(data, pos)
+    if max_payload is not None and length > max_payload:
+        raise EngineError("section %r declares %d bytes (cap %d)"
+                          % (tag, length, max_payload))
+    pos += SECTION_HEADER.size
+    if length > len(data) - pos - SECTION_CRC.size:
+        raise EngineError("truncated section payload")
+    payload = bytes(data[pos:pos + length])
+    pos += length
+    (crc,) = SECTION_CRC.unpack_from(data, pos)
+    pos += SECTION_CRC.size
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise EngineError("section %r failed its CRC"
+                          % tag.decode("ascii", "replace"))
+    return tag, payload, pos
+
 
 def _encode_entry(entry):
     out = bytearray()

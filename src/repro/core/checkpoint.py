@@ -39,8 +39,6 @@ _MAGIC = b"ASCK"
 _VERSION = 1
 
 _HEADER = struct.Struct("<4sHH")
-_SECTION = struct.Struct("<4sQ")
-_CRC = struct.Struct("<I")
 
 SECTION_META = b"META"
 SECTION_STATE = b"STAT"
@@ -87,11 +85,6 @@ class Checkpoint:
 
 # -- encoding ----------------------------------------------------------------
 
-def _encode_section(tag, payload):
-    return (_SECTION.pack(tag, len(payload)) + payload
-            + _CRC.pack(zlib.crc32(payload) & 0xFFFFFFFF))
-
-
 def encode_checkpoint(state, instruction_count, cache=None, meta=None):
     """Serialize a checkpoint to bytes."""
     info = dict(meta or {})
@@ -104,7 +97,7 @@ def encode_checkpoint(state, instruction_count, cache=None, meta=None):
         sections.append((SECTION_CACHE, cache_io.serialize_cache(cache)))
     out = bytearray(_HEADER.pack(_MAGIC, _VERSION, len(sections)))
     for tag, payload in sections:
-        out += _encode_section(tag, payload)
+        out += cache_io.encode_section(tag, payload)
     return bytes(out)
 
 
@@ -121,19 +114,7 @@ def decode_checkpoint(data):
     pos = _HEADER.size
     sections = {}
     for __ in range(n_sections):
-        if pos + _SECTION.size > len(data):
-            raise EngineError("truncated checkpoint (section header)")
-        tag, length = _SECTION.unpack_from(data, pos)
-        pos += _SECTION.size
-        if length > len(data) - pos - _CRC.size:
-            raise EngineError("truncated checkpoint (section payload)")
-        payload = bytes(data[pos:pos + length])
-        pos += length
-        (crc,) = _CRC.unpack_from(data, pos)
-        pos += _CRC.size
-        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-            raise EngineError("checkpoint section %r failed its CRC"
-                              % tag.decode("ascii", "replace"))
+        tag, payload, pos = cache_io.decode_section(data, pos)
         sections[tag] = payload
     if pos != len(data):
         raise EngineError("trailing bytes in checkpoint")

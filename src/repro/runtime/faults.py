@@ -48,7 +48,11 @@ DISPATCH_KINDS = ("kill", "timeout")
 RECEIVE_KINDS = ("corrupt", "slow", "drop")
 #: Fault kinds injected on a decoded cache entry (post-CRC).
 ENTRY_KINDS = ("taint",)
-ALL_KINDS = DISPATCH_KINDS + RECEIVE_KINDS + ENTRY_KINDS
+#: Fault kinds injected at the service tier (`repro chaos --serve`):
+#: SIGKILL the daemon mid-job, drop the client connection mid-poll,
+#: truncate the job journal's tail before a restart.
+SERVE_KINDS = ("daemon_kill", "conn_drop", "journal_trunc")
+ALL_KINDS = DISPATCH_KINDS + RECEIVE_KINDS + ENTRY_KINDS + SERVE_KINDS
 
 
 class FaultPlanError(ReproError):
@@ -68,9 +72,11 @@ class FaultPlan:
     """
 
     def __init__(self, seed=0, kills=0, timeouts=0, corruptions=0,
-                 slows=0, drops=0, taints=0, slow_seconds=0.05,
+                 slows=0, drops=0, taints=0, daemon_kills=0, conn_drops=0,
+                 journal_truncs=0, slow_seconds=0.05,
                  start_after=2, spacing=2):
-        if min(kills, timeouts, corruptions, slows, drops, taints) < 0:
+        if min(kills, timeouts, corruptions, slows, drops, taints,
+               daemon_kills, conn_drops, journal_truncs) < 0:
             raise FaultPlanError("fault quotas must be >= 0")
         if spacing < 1:
             raise FaultPlanError("spacing must be >= 1")
@@ -81,6 +87,9 @@ class FaultPlan:
         self.slows = slows
         self.drops = drops
         self.taints = taints
+        self.daemon_kills = daemon_kills
+        self.conn_drops = conn_drops
+        self.journal_truncs = journal_truncs
         self.slow_seconds = slow_seconds
         self.start_after = start_after
         self.spacing = spacing
@@ -88,15 +97,20 @@ class FaultPlan:
         dispatch = ["kill"] * kills + ["timeout"] * timeouts
         receive = (["corrupt"] * corruptions + ["slow"] * slows
                    + ["drop"] * drops)
+        serve = (["daemon_kill"] * daemon_kills + ["conn_drop"] * conn_drops
+                 + ["journal_trunc"] * journal_truncs)
         rng.shuffle(dispatch)
         rng.shuffle(receive)
+        rng.shuffle(serve)
         self._dispatch_queue = deque(dispatch)
         self._receive_queue = deque(receive)
         self._entry_queue = deque(["taint"] * taints)
+        self._serve_queue = deque(serve)
         self._rng = rng  # drives corruption shapes, deterministically
         self._dispatch_events = 0
         self._receive_events = 0
         self._entry_events = 0
+        self._serve_events = 0
         self.injected = Counter()
 
     # -- scheduling ----------------------------------------------------------
@@ -143,6 +157,27 @@ class FaultPlan:
         kind = self._next(self._entry_queue, self._entry_events, None)
         self._entry_events += 1
         return kind
+
+    def next_serve_fault(self, allowed=None):
+        """Fault to apply to this service-tier event (or ``None``).
+
+        An event is one observable checkpoint of the serve chaos
+        driver — a client poll round, typically — so a plan like
+        ``daemon_kill=1,journal_trunc=1`` interleaves its faults at
+        seeded, reproducible points of a run, the same contract the
+        worker-tier streams have.
+        """
+        kind = self._next(self._serve_queue, self._serve_events, allowed)
+        self._serve_events += 1
+        return kind
+
+    def truncate_tail_bytes(self, size):
+        """How many bytes a ``journal_trunc`` fault shears off a file
+        of ``size`` bytes: at least 1, at most the whole file, chosen
+        by the plan RNG so the torn tail lands at seeded offsets."""
+        if size <= 1:
+            return size
+        return self._rng.randrange(1, min(size, 4096) + 1)
 
     def corrupt_bytes(self, data):
         """Deterministically damage one frame.
@@ -197,21 +232,25 @@ class FaultPlan:
     def exhausted(self):
         """Every scheduled fault has been injected."""
         return (not self._dispatch_queue and not self._receive_queue
-                and not self._entry_queue)
+                and not self._entry_queue and not self._serve_queue)
 
     @property
     def pending(self):
         """Faults scheduled but not yet injected, by kind."""
         return (Counter(self._dispatch_queue)
                 + Counter(self._receive_queue)
-                + Counter(self._entry_queue))
+                + Counter(self._entry_queue)
+                + Counter(self._serve_queue))
 
     def as_dict(self):
         return {
             "seed": self.seed,
             "scheduled": {"kill": self.kills, "timeout": self.timeouts,
                           "corrupt": self.corruptions, "slow": self.slows,
-                          "drop": self.drops, "taint": self.taints},
+                          "drop": self.drops, "taint": self.taints,
+                          "daemon_kill": self.daemon_kills,
+                          "conn_drop": self.conn_drops,
+                          "journal_trunc": self.journal_truncs},
             "injected": dict(self.injected),
             "pending": dict(self.pending),
         }
@@ -226,6 +265,9 @@ class FaultPlan:
         "slow": ("slows", int),
         "drop": ("drops", int),
         "taint": ("taints", int),
+        "daemon_kill": ("daemon_kills", int),
+        "conn_drop": ("conn_drops", int),
+        "journal_trunc": ("journal_truncs", int),
         "slow_ms": ("slow_seconds", lambda v: int(v) / 1000.0),
         "start": ("start_after", int),
         "spacing": ("spacing", int),
@@ -258,9 +300,11 @@ class FaultPlan:
 
     def __repr__(self):
         return ("FaultPlan(seed=%d, kill=%d, timeout=%d, corrupt=%d, "
-                "slow=%d, drop=%d, taint=%d, injected=%s)"
+                "slow=%d, drop=%d, taint=%d, daemon_kill=%d, conn_drop=%d, "
+                "journal_trunc=%d, injected=%s)"
                 % (self.seed, self.kills, self.timeouts, self.corruptions,
-                   self.slows, self.drops, self.taints,
+                   self.slows, self.drops, self.taints, self.daemon_kills,
+                   self.conn_drops, self.journal_truncs,
                    dict(self.injected)))
 
 

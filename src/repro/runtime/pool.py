@@ -233,7 +233,11 @@ class WorkerPool:
         worker.close_rings()
         kind = "timeout" if status == TASK_TIMED_OUT else "crash"
         directive = self.supervisor.note_failure(worker.index, kind)
-        if directive == RESPAWN:
+        if directive == RESPAWN and not self._closed:
+            # Never respawn into a shut-down pool: a concurrent
+            # shutdown (the serve watchdog's last-resort escalation)
+            # may close conns under a polling engine, and the resulting
+            # crash detections must not leak fresh workers.
             self.stats.workers_respawned += 1
             self._workers[worker.index] = self._spawn(worker.index)
         else:  # quarantined or retired: the pool shrinks for now
@@ -338,6 +342,25 @@ class WorkerPool:
     def worker_pids(self):
         """Live worker PIDs (fault-injection tests kill these)."""
         return [w.proc.pid for w in self._live()]
+
+    def kill_workers(self):
+        """SIGKILL every live worker process; returns how many died.
+
+        The one pool mutation safe from *another* thread (the serve
+        watchdog): it only signals processes — it does not touch
+        inflight deques, pipes, or rings. The owning engine's poll loop
+        detects the deaths as EOF, reports the in-flight tasks crashed,
+        and lets the supervisor respawn the slots — exactly the
+        external-SIGKILL path the chaos tests already exercise. The
+        point is to unwedge an engine stuck waiting on a hung worker so
+        a pending cancel can land at the next boundary.
+        """
+        killed = 0
+        for worker in self._live():
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                killed += 1
+        return killed
 
     # -- dispatch ------------------------------------------------------------
 

@@ -16,14 +16,20 @@ next step. This package keeps all three warm in one long-lived daemon:
   per image hash under a global worker budget, a shared
   :class:`~repro.core.cache_store.SharedCacheStore`, drain/flush/sweep
   lifecycle;
-* :mod:`repro.serve.client` — :class:`ServeClient`, the thin library
-  behind ``repro submit`` / ``repro jobs``.
+* :mod:`repro.serve.client` — :class:`ServeClient`, the fault-hardened
+  library behind ``repro submit`` / ``repro jobs``;
+* :mod:`repro.serve.journal` — :class:`JobJournal`, the crash-only
+  write-ahead log + result store the daemon replays after a SIGKILL;
+* :mod:`repro.serve.watchdog` — :class:`Watchdog` deadline/progress
+  supervision and the :class:`SelfCheck` probes behind degraded mode.
 """
 
 from repro.serve.client import ServeClient, ServeClientError
 from repro.serve.config import ServeConfig, default_socket_path
 from repro.serve.daemon import ServeError, SpeculationDaemon
+from repro.serve.journal import JobJournal, JournalError
 from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.watchdog import SelfCheck, Watchdog, WatchdogTimeout
 from repro.serve.queue import (
     JOB_CANCELLED,
     JOB_DONE,
@@ -41,6 +47,8 @@ __all__ = [
     "CentralQueue",
     "Job",
     "JobCancelled",
+    "JobJournal",
+    "JournalError",
     "JOB_CANCELLED",
     "JOB_DONE",
     "JOB_FAILED",
@@ -50,8 +58,11 @@ __all__ = [
     "ProtocolError",
     "ServeClient",
     "ServeClientError",
+    "SelfCheck",
     "ServeConfig",
     "ServeError",
     "SpeculationDaemon",
+    "Watchdog",
+    "WatchdogTimeout",
     "default_socket_path",
 ]

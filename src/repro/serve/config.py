@@ -47,6 +47,28 @@ class ServeConfig:
                  cache_dir=None,
                  flush_every_jobs=1,
                  cache_capacity_bytes=None,
+                 # Crash-only job journal: every accepted submission is
+                 # WAL'd here and replayed on restart. Defaults beside
+                 # the cache shards when a cache_dir is given; None with
+                 # no cache_dir means a memory-only (non-durable)
+                 # daemon. journal_fsync=False trades durability of the
+                 # last few records for append latency.
+                 journal_dir=None,
+                 journal_fsync=True,
+                 result_store_bytes=256 * 1024 * 1024,
+                 # Watchdog: per-job wall-clock deadline (None = no
+                 # cap), how long heartbeats may stop before the job is
+                 # condemned, grace between escalation rungs, and the
+                 # supervision tick.
+                 job_deadline_seconds=None,
+                 no_progress_seconds=20.0,
+                 kill_grace_seconds=5.0,
+                 watchdog_interval_seconds=0.5,
+                 # Self-check: probe cadence and the /dev/shm headroom
+                 # below which the daemon flips into degraded mode
+                 # (sequential execution, cache write-through off).
+                 selfcheck_interval_seconds=2.0,
+                 min_shm_headroom_bytes=64 * 1024 * 1024,
                  # Lifecycle: how long a drain waits for running jobs
                  # before cancelling them at their next boundary, and
                  # how long a finished job waits for its pool's
@@ -69,6 +91,17 @@ class ServeConfig:
         self.cache_dir = cache_dir
         self.flush_every_jobs = max(1, int(flush_every_jobs))
         self.cache_capacity_bytes = cache_capacity_bytes
+        if journal_dir is None and cache_dir is not None:
+            journal_dir = os.path.join(cache_dir, "journal")
+        self.journal_dir = journal_dir
+        self.journal_fsync = journal_fsync
+        self.result_store_bytes = result_store_bytes
+        self.job_deadline_seconds = job_deadline_seconds
+        self.no_progress_seconds = no_progress_seconds
+        self.kill_grace_seconds = kill_grace_seconds
+        self.watchdog_interval_seconds = watchdog_interval_seconds
+        self.selfcheck_interval_seconds = selfcheck_interval_seconds
+        self.min_shm_headroom_bytes = min_shm_headroom_bytes
         self.drain_seconds = drain_seconds
         self.quiesce_seconds = quiesce_seconds
         self.max_instructions = max_instructions

@@ -41,6 +41,21 @@ jobs finish, or are cancelled at their next boundary after
 swept, and the socket is unlinked; every step is idempotent under a
 second SIGTERM racing the first (the second escalates the drain to an
 immediate cancel instead of re-running cleanup).
+
+Crash-only operation (PR 8): when ``journal_dir`` is configured every
+accepted submission is WAL'd (:mod:`repro.serve.journal`) before the
+client is acked, state transitions follow, and a daemon restarted
+after a SIGKILL replays the log — re-queuing interrupted jobs,
+deduping resubmissions by idempotency token, and serving finished
+results from the on-disk store. Mutual exclusion on the socket path is
+a pidfile + ``flock`` (held for the daemon's lifetime), so two
+concurrent starts cannot both win and a *stale* socket file is, by
+construction, safe to unlink once the lock is held. A watchdog thread
+(:mod:`repro.serve.watchdog`) reaps jobs that blow their deadline or
+stop heartbeating, and a periodic self-check flips the daemon into
+journaled **degraded mode** — sequential execution, cache
+write-through disabled — instead of crashing when /dev/shm or the
+cache store gives out.
 """
 
 import base64
@@ -51,6 +66,11 @@ import socket
 import threading
 import time
 
+try:
+    import fcntl
+except ImportError:  # non-POSIX: single-start races are the user's
+    fcntl = None
+
 from repro.core.cache_store import SharedCacheStore
 from repro.core.config import EngineConfig
 from repro.errors import ReproError
@@ -59,6 +79,8 @@ from repro.runtime import RealParallelEngine, RuntimeConfig, WorkerPool
 from repro.runtime import shm
 from repro.serve import protocol
 from repro.serve.config import ServeConfig
+from repro.serve.journal import JobJournal
+from repro.serve.watchdog import SelfCheck, Watchdog, WatchdogTimeout
 from repro.serve.queue import (
     JOB_CANCELLED,
     JOB_DONE,
@@ -77,10 +99,36 @@ from repro.serve.queue import (
 _JOB_OPTIONS = frozenset((
     "workers", "max_instructions", "superstep_scale", "transport",
     "inflight_wait_bias", "verify_rate", "strict_verify", "engine",
+    "deadline_seconds",
 ))
 
 #: Terminal jobs retained for ``jobs``/``result`` queries.
 _JOB_HISTORY = 256
+
+#: Start-lock fds to close in forked children. ``flock`` lives on the
+#: open file *description*, which fork shares: a pool worker inheriting
+#: the pidfile fd keeps the lock alive after the daemon is SIGKILLed,
+#: wedging every restart until the orphan notices and exits. Closing
+#: the child's copy at fork ties the lock's lifetime to the daemon
+#: process alone.
+_FORK_CLOSE_FDS = set()
+_fork_guard_installed = []
+
+
+def _install_fork_guard():
+    if _fork_guard_installed or not hasattr(os, "register_at_fork"):
+        return
+
+    def _drop_inherited_locks():
+        for fd in list(_FORK_CLOSE_FDS):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        _FORK_CLOSE_FDS.clear()
+
+    os.register_at_fork(after_in_child=_drop_inherited_locks)
+    _fork_guard_installed.append(True)
 
 
 class ServeError(ReproError):
@@ -127,15 +175,19 @@ class SpeculationDaemon:
         self._pools = {}  # namespace -> _PoolLease
         self._clients = {}  # client name -> aggregate dict
         self._job_ids = itertools.count(1)
+        self._tokens = {}  # idempotency token -> job_id
         self._stop = threading.Event()
         self._work = threading.Event()  # scheduler wake-up
         self._close_lock = threading.Lock()
         self._closed = False
         self._listener = None
         self._socket_bound = False
+        self._lock_file = None  # pidfile holding the start flock
         self._accept_thread = None
         self._scheduler_thread = None
+        self._watchdog_thread = None
         self._conn_threads = []
+        self._open_conns = set()  # live per-connection sockets
         self._job_threads = {}  # job_id -> Thread
         self.started_at = None
         # -- service counters ------------------------------------------
@@ -147,17 +199,110 @@ class SpeculationDaemon:
         self.jobs_done = 0
         self.jobs_failed = 0
         self.jobs_cancelled = 0
+        self.jobs_replayed = 0
+        self.jobs_requeued = 0
+        self.jobs_deduped = 0
+        self.jobs_degraded = 0
+        self.journal_errors = 0
         self._jobs_since_flush = 0
+        # -- crash-only machinery --------------------------------------
+        self.watchdog = Watchdog(
+            deadline_seconds=self.config.job_deadline_seconds,
+            no_progress_seconds=self.config.no_progress_seconds,
+            kill_grace_seconds=self.config.kill_grace_seconds)
+        self.selfcheck = SelfCheck(
+            min_shm_headroom_bytes=self.config.min_shm_headroom_bytes)
+        self.degraded = False
+        self.degraded_reason = None
+        self.journal = None
+        if self.config.journal_dir:
+            self.journal = JobJournal(
+                self.config.journal_dir,
+                fsync=self.config.journal_fsync,
+                result_store_bytes=self.config.result_store_bytes)
+            self._replay_journal()
+
+    # -- journal replay ------------------------------------------------------
+
+    def _replay_journal(self):
+        """Rebuild job state from the WAL (constructor-time, no locks
+        contended yet). Interrupted jobs are re-queued — re-running a
+        journaled submission from its program image is always correct
+        because the guarantee is byte-identical-to-sequential, not
+        at-most-once execution. Terminal jobs come back as queryable
+        history; their payloads load lazily from the result store."""
+        self._job_ids = itertools.count(self.journal.max_job_number() + 1)
+        for replayed in self.journal.jobs.values():
+            try:
+                program = Program.from_dict(replayed.program_dict or {})
+            except (ReproError, KeyError, TypeError, ValueError):
+                continue  # image record damaged; nothing to re-run
+            job = Job(replayed.job_id, replayed.client, program,
+                      replayed.namespace or program.image_hash(),
+                      replayed.options, token=replayed.token)
+            job.restored = True
+            if replayed.submitted_at:
+                job.submitted_at = replayed.submitted_at
+            job.incidents = list(replayed.incidents)
+            if replayed.interrupted:
+                try:
+                    self.queue.submit(job)
+                except BacklogFull:
+                    job.state = JOB_FAILED
+                    job.error = "backlog full at replay"
+                else:
+                    self.jobs_requeued += 1
+                    if replayed.state == JOB_RUNNING:
+                        # Journal the reset so a second crash replays
+                        # the same queued state, not a phantom run.
+                        self._journal("record_state", job.job_id,
+                                      JOB_QUEUED)
+            else:
+                job.state = replayed.state
+                job.error = replayed.error
+                job.finished_at = replayed.finished_at
+            self._remember_job(job)
+            if job.token:
+                self._tokens[job.token] = job.job_id
+            self.jobs_replayed += 1
+        if self.journal.mode == "degraded":
+            # The previous incarnation died degraded; start optimistic
+            # and let the first self-check re-demote if resources are
+            # still exhausted. Journaled so the log stays consistent.
+            self._journal("record_mode", "normal",
+                          "restart: self-check re-evaluates")
+
+    def _journal(self, method, *args, **kwargs):
+        """Append one journal record; a failing journal (disk full,
+        yanked volume) must degrade the daemon, not kill a job thread
+        or a connection handler."""
+        if self.journal is None:
+            return
+        try:
+            getattr(self.journal, method)(*args, **kwargs)
+        except Exception as exc:
+            self.journal_errors += 1
+            self.selfcheck.note_flush_failure(exc)
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self):
-        """Bind the socket and start the accept + scheduler threads."""
+        """Bind the socket and start the accept, scheduler, and
+        watchdog threads.
+
+        Mutual exclusion is a pidfile + ``flock`` beside the socket,
+        not the old probe-and-unlink dance — probing then unlinking
+        races a concurrent start (both probe a dead socket, both
+        unlink, both bind; last binder silently steals the path). The
+        lock is taken non-blocking and held for the daemon's lifetime:
+        exactly one of two concurrent starts wins, the loser exits with
+        the winner's pid, and with the lock held any *existing* socket
+        file is stale by construction and safe to remove.
+        """
         path = self.config.socket_path
+        self._acquire_start_lock(path)
         if os.path.exists(path):
-            if protocol.daemon_running(path):
-                raise ServeError("a daemon is already serving %s" % path)
-            os.unlink(path)  # stale socket from an unclean exit
+            os.unlink(path)  # stale: the flock proves no daemon owns it
         listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         try:
             listener.bind(path)
@@ -177,7 +322,102 @@ class SpeculationDaemon:
             target=self._scheduler_loop, name="repro-serve-sched",
             daemon=True)
         self._scheduler_thread.start()
+        self._watchdog_thread = threading.Thread(
+            target=self._watchdog_loop, name="repro-serve-watchdog",
+            daemon=True)
+        self._watchdog_thread.start()
+        if self.queue.queued_count():
+            self._work.set()  # replayed jobs are ready to run
         return self
+
+    def _acquire_start_lock(self, path):
+        if fcntl is None:
+            return  # non-POSIX: no flock; fall back to bind errors
+        _install_fork_guard()
+        lock_path = path + ".lock"
+        for __ in range(16):
+            lock_file = open(lock_path, "a+")
+            try:
+                fcntl.flock(lock_file.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                lock_file.seek(0)
+                holder = lock_file.read(64).strip() or "unknown pid"
+                lock_file.close()
+                raise ServeError(
+                    "a daemon (pid %s) already owns %s — stop it first, "
+                    "or serve a different socket path" % (holder, path))
+            # Guard the unlink race: a stopping daemon may have
+            # unlinked the pidfile between our open and our flock, in
+            # which case we hold a lock on an orphaned inode that no
+            # later starter will ever contend on. Re-check identity.
+            try:
+                on_disk = os.stat(lock_path)
+            except FileNotFoundError:
+                on_disk = None
+            if on_disk is not None and \
+                    on_disk.st_ino == os.fstat(lock_file.fileno()).st_ino:
+                lock_file.seek(0)
+                lock_file.truncate()
+                lock_file.write("%d\n" % os.getpid())
+                lock_file.flush()
+                self._lock_file = lock_file
+                _FORK_CLOSE_FDS.add(lock_file.fileno())
+                return
+            lock_file.close()  # stale inode; take the fresh one
+        raise ServeError("could not acquire the start lock at %s"
+                         % lock_path)
+
+    # -- watchdog / self-check -----------------------------------------------
+
+    def _watchdog_loop(self):
+        last_selfcheck = 0.0
+        while not self._stop.is_set():
+            self._stop.wait(self.config.watchdog_interval_seconds)
+            if self._stop.is_set():
+                break
+            try:
+                for incident in self.watchdog.step():
+                    self._note_incident(incident)
+            except Exception:
+                pass  # supervision must never kill the supervisor
+            now = time.monotonic()
+            if now - last_selfcheck >= self.config.selfcheck_interval_seconds:
+                last_selfcheck = now
+                try:
+                    self._run_selfcheck()
+                except Exception:
+                    pass
+
+    def _note_incident(self, incident):
+        """Attach a watchdog incident to its job and journal it."""
+        job_id = incident.get("job_id")
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                job.incidents.append(incident)
+        self._journal("record_incident", job_id, incident)
+
+    def _run_selfcheck(self):
+        healthy, reason = self.selfcheck.verdict()
+        if self.degraded and healthy:
+            self._set_degraded(False, "self-check healthy")
+        elif not self.degraded and not healthy:
+            self._set_degraded(True, reason)
+
+    def _set_degraded(self, degraded, reason):
+        """Flip the journaled degraded/normal mode. Degraded jobs run
+        sequentially (no pools, no shm) and the cache store stops
+        write-through flushing — the daemon sheds resource pressure
+        instead of crashing into it."""
+        with self._lock:
+            if self.degraded == degraded:
+                return
+            self.degraded = degraded
+            self.degraded_reason = reason if degraded else None
+        self._journal("record_mode",
+                      "degraded" if degraded else "normal", reason)
+        self._work.set()
 
     def serve_forever(self):
         """Run until :meth:`request_stop` (SIGTERM handler, shutdown
@@ -220,9 +460,22 @@ class SpeculationDaemon:
             self._closed = True
         self._stop.set()
         self._work.set()
-        for thread in (self._accept_thread, self._scheduler_thread):
+        for thread in (self._accept_thread, self._scheduler_thread,
+                       self._watchdog_thread):
             if thread is not None:
                 thread.join(timeout=5.0)
+        # Sever live connections: a handler parked in its recv timeout
+        # could otherwise answer one more request after close() returns
+        # — a closed daemon must go silent, not trail off.
+        with self._lock:
+            conns = list(self._open_conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        for thread in self._conn_threads:
+            thread.join(timeout=2.0)
         # Drain: give running jobs their window, then cancel the rest.
         deadline = time.monotonic() + self.config.drain_seconds
         while time.monotonic() < deadline:
@@ -253,7 +506,10 @@ class SpeculationDaemon:
             if lease.pool is not None:
                 lease.pool.shutdown()
             self.pools_retired += 1
-        self.store.flush(force=True)
+        try:
+            self.store.flush(force=True)
+        except Exception:
+            pass  # a dying disk must not block the rest of teardown
         # Belt and braces: the pools' shutdowns unlink their rings; the
         # sweep reaps anything an interrupted path left registered.
         # Idempotent, like everything else on this path.
@@ -271,6 +527,23 @@ class SpeculationDaemon:
                 pass
             except OSError:
                 pass
+        if self.journal is not None:
+            self.journal.close()
+        if self._lock_file is not None:
+            # Unlink before releasing: a racing start that flocks the
+            # *old* inode after our unlink holds a lock nobody else
+            # will ever see, but its bind still wins cleanly because
+            # the socket is gone too.
+            try:
+                os.unlink(self.config.socket_path + ".lock")
+            except OSError:
+                pass
+            _FORK_CLOSE_FDS.discard(self._lock_file.fileno())
+            try:
+                self._lock_file.close()  # closes the fd, dropping flock
+            except OSError:
+                pass
+            self._lock_file = None
 
     def __enter__(self):
         return self
@@ -289,6 +562,8 @@ class SpeculationDaemon:
             except OSError:
                 break
             self.connections_accepted += 1
+            with self._lock:
+                self._open_conns.add(conn)
             thread = threading.Thread(target=self._serve_connection,
                                       args=(conn,), daemon=True,
                                       name="repro-serve-conn")
@@ -329,6 +604,8 @@ class SpeculationDaemon:
                     self.request_stop(drain=bool(request.get("drain", True)))
                     return
         finally:
+            with self._lock:
+                self._open_conns.discard(conn)
             try:
                 conn.close()
             except OSError:
@@ -341,7 +618,11 @@ class SpeculationDaemon:
         if verb == protocol.VERB_PING:
             return protocol.ok_response(
                 pong=True, uptime_seconds=time.time() - self.started_at,
-                protocol=protocol.PROTOCOL_VERSION)
+                protocol=protocol.PROTOCOL_VERSION,
+                degraded=self.degraded,
+                journaled=self.journal is not None)
+        if verb == protocol.VERB_STATUS:
+            return protocol.ok_response(status=self.status_dict())
         if verb == protocol.VERB_SUBMIT:
             return self._handle_submit(request)
         if verb == protocol.VERB_POLL:
@@ -385,20 +666,43 @@ class SpeculationDaemon:
         except (ReproError, KeyError, TypeError, ValueError) as exc:
             return protocol.error_response("bad program image: %s" % exc,
                                            "bad-program")
+        token = request.get("token")
+        if token is not None:
+            token = str(token)
         namespace = program.image_hash()
         with self._lock:
+            if token is not None and token in self._tokens:
+                # Idempotent resubmission: the original job (possibly
+                # replayed across a daemon restart) answers for it.
+                existing = self._jobs.get(self._tokens[token])
+                if existing is not None:
+                    self.jobs_deduped += 1
+                    return protocol.ok_response(
+                        job_id=existing.job_id,
+                        namespace=existing.namespace,
+                        state=existing.state, deduped=True,
+                        warm_entries=self.store.entry_count(
+                            existing.namespace),
+                        queued=self.queue.queued_count())
             job = Job("j%d" % next(self._job_ids), client, program,
-                      namespace, options)
+                      namespace, options, token=token)
             try:
                 self.queue.submit(job)
             except BacklogFull as exc:
                 return protocol.error_response(exc, "busy")
             self._remember_job(job)
+            if token is not None:
+                self._tokens[token] = job.job_id
             aggregate = self._client_aggregate(client)
             aggregate["jobs_submitted"] += 1
+        # WAL before the ack: once the client learns the job_id, the
+        # submission survives any crash. (A crash in the window before
+        # this append loses a job the client was never acked for — the
+        # client's token retry re-creates it.)
+        self._journal("record_submit", job, token)
         self._work.set()
         return protocol.ok_response(
-            job_id=job.job_id, namespace=namespace,
+            job_id=job.job_id, namespace=namespace, deduped=False,
             warm_entries=self.store.entry_count(namespace),
             queued=self.queue.queued_count())
 
@@ -418,6 +722,14 @@ class SpeculationDaemon:
                 "job %s is %s%s" % (job.job_id, job.state,
                                     ": %s" % job.error if job.error else ""),
                 "not-done")
+        if job.result is None and job.restored and self.journal is not None:
+            # A job that finished before the crash: its payload lives
+            # in the on-disk result store, not the replayed log.
+            job.result = self.journal.load_result(job.job_id)
+        if job.result is None:
+            return protocol.error_response(
+                "job %s finished but its result is no longer stored"
+                % job.job_id, "result-evicted")
         result = dict(job.result)
         if not request.get("include_state", True):
             result.pop("final_state", None)
@@ -444,9 +756,17 @@ class SpeculationDaemon:
                                     cancelled=True)
 
     def _find_job(self, request):
+        """Resolve a job by id or idempotency token. Token lookups are
+        what survive a daemon restart: the client may never learn the
+        replayed job's id, but its token maps to it."""
         job_id = request.get("job_id")
         with self._lock:
-            return self._jobs.get(job_id)
+            job = self._jobs.get(job_id)
+            if job is None:
+                token = request.get("token")
+                if token is not None:
+                    job = self._jobs.get(self._tokens.get(str(token)))
+            return job
 
     def _remember_job(self, job):
         self._jobs[job.job_id] = job
@@ -577,7 +897,22 @@ class SpeculationDaemon:
         pool_poisoned = False
         runtime_delta = None
         stats_dict = None
+        self._journal("record_state", job.job_id, JOB_RUNNING)
+        self.watchdog.watch(
+            job, lease,
+            deadline_seconds=job.options.get("deadline_seconds"))
         try:
+            if self.degraded:
+                payload = self._run_job_degraded(job)
+                with self._lock:
+                    job.finish(JOB_DONE, result=payload)
+                    self.jobs_done += 1
+                self._journal("record_state", job.job_id, JOB_DONE,
+                              extra={"state_sha256":
+                                     payload["state_sha256"],
+                                     "degraded": True})
+                self._journal("store_result", job.job_id, payload)
+                return
             if lease.pool is None:
                 lease.pool = WorkerPool(job.program,
                                         self._pool_runtime_config(lease))
@@ -589,6 +924,16 @@ class SpeculationDaemon:
             runtime_snapshot = pool.stats.snapshot()
 
             def boundary_hook(engine, superstep):
+                # Heartbeat first, then the watchdog's verdict, then a
+                # client cancel — the watchdog also sets the cancel
+                # event (to unwedge cooperative paths), so the order
+                # decides which exception (and terminal state) wins.
+                self.watchdog.heartbeat(job.job_id, superstep)
+                reason = self.watchdog.timeout_reason(job.job_id)
+                if reason is not None:
+                    raise WatchdogTimeout(
+                        "job %s condemned by watchdog: %s"
+                        % (job.job_id, reason))
                 if job.cancel_event.is_set():
                     raise JobCancelled("job %s cancelled" % job.job_id)
 
@@ -637,12 +982,29 @@ class SpeculationDaemon:
             with self._lock:
                 job.finish(JOB_DONE, result=payload)
                 self.jobs_done += 1
+            self._journal("record_state", job.job_id, JOB_DONE,
+                          extra={"state_sha256": payload["state_sha256"]})
+            self._journal("store_result", job.job_id, payload)
+        except WatchdogTimeout as exc:
+            # The pool may already have had its workers killed (or been
+            # shut down outright) by the escalation ladder: retire it,
+            # don't quiesce it — a condemned job's stragglers are not
+            # worth racing a dying pool for.
+            pool_poisoned = True
+            with self._lock:
+                if not job.terminal:
+                    job.finish(JOB_FAILED, error=str(exc))
+                self.jobs_failed += 1
+            self._journal("record_state", job.job_id, JOB_FAILED,
+                          error=str(exc))
         except JobCancelled as exc:
             self._absorb_stragglers(job, lease)
             with self._lock:
                 if not job.terminal:
                     job.finish(JOB_CANCELLED, error=str(exc))
                 self.jobs_cancelled += 1
+            self._journal("record_state", job.job_id, JOB_CANCELLED,
+                          error=str(exc))
         except Exception as exc:  # the job fails; the daemon must not
             pool_poisoned = True
             with self._lock:
@@ -650,9 +1012,63 @@ class SpeculationDaemon:
                     job.finish(JOB_FAILED,
                                error="%s: %s" % (type(exc).__name__, exc))
                 self.jobs_failed += 1
+            self._journal("record_state", job.job_id, JOB_FAILED,
+                          error=job.error)
         finally:
+            self.watchdog.unwatch(job.job_id)
             self._release_lease(job, lease, pool_poisoned, runtime_delta,
                                 stats_dict)
+
+    def _run_job_degraded(self, job):
+        """Degraded-mode execution: the reference interpreter in
+        bounded chunks — no pool, no shm rings, no speculation, no
+        cache write-through. Same byte-identical final state (it *is*
+        the sequential definition), a fraction of the resource
+        footprint, heartbeats and cancel checks between chunks so the
+        watchdog still supervises it."""
+        self.jobs_degraded += 1
+        budget = int(job.options.get("max_instructions")
+                     or self.config.max_instructions)
+        machine = job.program.make_machine()
+        start = time.perf_counter()
+        chunk = 1_000_000
+        superstep = 0
+        while not machine.halted and machine.instruction_count < budget:
+            self.watchdog.heartbeat(job.job_id, superstep)
+            reason = self.watchdog.timeout_reason(job.job_id)
+            if reason is not None:
+                raise WatchdogTimeout("job %s condemned by watchdog: %s"
+                                      % (job.job_id, reason))
+            if job.cancel_event.is_set():
+                raise JobCancelled("job %s cancelled" % job.job_id)
+            machine.run(max_instructions=min(
+                chunk, budget - machine.instruction_count))
+            superstep += 1
+        wall = time.perf_counter() - start
+        state = bytes(machine.state.buf)
+        return {
+            "job_id": job.job_id,
+            "client": job.client,
+            "program": job.program.name,
+            "namespace": job.namespace,
+            "backend": "serve-degraded",
+            "degraded": True,
+            "halted": machine.halted,
+            "wall_seconds": wall,
+            "total_instructions": machine.instruction_count,
+            "first_splice_seconds": None,
+            "hits": 0,
+            "n_workers": 0,
+            "transport": None,
+            "warm_entries": 0,
+            "merged_entries": 0,
+            "stats": {},
+            "runtime": {},
+            "cache": {},
+            "audit": None,
+            "final_state": base64.b64encode(state).decode("ascii"),
+            "state_sha256": hashlib.sha256(state).hexdigest(),
+        }
 
     def _absorb_stragglers(self, job, lease):
         """Bank whatever a cancelled job's workers still finished."""
@@ -696,8 +1112,15 @@ class SpeculationDaemon:
                 self._jobs_since_flush = 0
         if retired is not None:
             retired.shutdown()
-        if flush_due:
-            self.store.flush()
+        if flush_due and not self.degraded:
+            # Degraded mode disables cache write-through: a full or
+            # failing disk must not turn every job completion into a
+            # crash. Flush health feeds the self-check either way.
+            try:
+                self.store.flush()
+                self.selfcheck.note_flush_ok()
+            except Exception as exc:
+                self.selfcheck.note_flush_failure(exc)
         self._work.set()
 
     # -- reporting -----------------------------------------------------------
@@ -740,11 +1163,49 @@ class SpeculationDaemon:
                 "protocol_errors": self.protocol_errors,
                 "jobs": dict(by_state, total=len(self._jobs),
                              done=self.jobs_done, failed=self.jobs_failed,
-                             cancelled=self.jobs_cancelled),
+                             cancelled=self.jobs_cancelled,
+                             replayed=self.jobs_replayed,
+                             requeued=self.jobs_requeued,
+                             deduped=self.jobs_deduped,
+                             degraded=self.jobs_degraded),
                 "clients": clients,
                 "pools": pools,
                 "pools_created": self.pools_created,
                 "pools_retired": self.pools_retired,
                 "queue": self.queue.stats_dict(),
                 "cache": self.store.stats_dict(),
+                "degraded": self.degraded,
+                "degraded_reason": self.degraded_reason,
+                "journal": (self.journal.stats_dict()
+                            if self.journal is not None else None),
+                "journal_errors": self.journal_errors,
+                "watchdog": self.watchdog.stats_dict(),
+                "selfcheck": self.selfcheck.stats_dict(),
+            }
+
+    def status_dict(self):
+        """The ``status`` verb: the health probe behind
+        ``repro serve --status`` — journal, watchdog, degraded-mode
+        state, compact enough to poll cheaply."""
+        with self._lock:
+            by_state = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            return {
+                "ok": True,
+                "pid": os.getpid(),
+                "socket": self.config.socket_path,
+                "uptime_seconds": (time.time() - self.started_at
+                                   if self.started_at else 0.0),
+                "draining": self._stop.is_set(),
+                "degraded": self.degraded,
+                "degraded_reason": self.degraded_reason,
+                "jobs": dict(by_state,
+                             replayed=self.jobs_replayed,
+                             requeued=self.jobs_requeued),
+                "journal": (self.journal.stats_dict()
+                            if self.journal is not None else None),
+                "journal_errors": self.journal_errors,
+                "watchdog": self.watchdog.stats_dict(),
+                "selfcheck": self.selfcheck.stats_dict(),
             }

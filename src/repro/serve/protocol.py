@@ -17,14 +17,22 @@ never lets one bad connection poison another client's session.
 Verbs
 -----
 
-``submit``   program image + options -> ``job_id``, ``namespace``
-``poll``     job_id -> state summary (queued/running/done/...)
-``result``   job_id -> full result payload (final state, stats, audit)
-``cancel``   job_id -> dequeue a queued job / flag a running one
+``submit``   program image + options (+ idempotency ``token``) ->
+             ``job_id``, ``namespace``; a token the daemon has already
+             seen dedups onto the original job (``deduped: true``)
+``poll``     job_id *or* token -> state summary (queued/running/...)
+``result``   job_id *or* token -> full result payload
+``cancel``   job_id *or* token -> dequeue a queued job / flag a
+             running one
 ``stats``    -> daemon, per-client, pool, queue, and cache-store stats
 ``jobs``     -> one summary row per job this daemon has seen
 ``ping``     -> liveness
+``status``   -> health probe: journal, watchdog, degraded-mode state
 ``shutdown`` -> drain and stop the daemon
+
+Version 2 added ``token`` fields, ``status``, and journal replay; the
+daemon still answers version-1 clients (it never rejects on the
+``protocol`` field), so a mixed fleet keeps working across an upgrade.
 """
 
 import json
@@ -33,8 +41,9 @@ import struct
 
 from repro.errors import ReproError
 
-#: Protocol revision; the daemon rejects frames claiming another one.
-PROTOCOL_VERSION = 1
+#: Protocol revision (advisory: responses echo it; requests carrying an
+#: older one are still served).
+PROTOCOL_VERSION = 2
 
 #: Hard ceiling on one frame. Program images are a few KB of base64 and
 #: final states a few KB more; 64 MiB is generous headroom, not a quota.
@@ -49,10 +58,11 @@ VERB_CANCEL = "cancel"
 VERB_STATS = "stats"
 VERB_JOBS = "jobs"
 VERB_PING = "ping"
+VERB_STATUS = "status"
 VERB_SHUTDOWN = "shutdown"
 
 VERBS = (VERB_SUBMIT, VERB_POLL, VERB_RESULT, VERB_CANCEL, VERB_STATS,
-         VERB_JOBS, VERB_PING, VERB_SHUTDOWN)
+         VERB_JOBS, VERB_PING, VERB_STATUS, VERB_SHUTDOWN)
 
 
 class ProtocolError(ReproError):

@@ -51,9 +51,11 @@ class Job:
 
     __slots__ = ("job_id", "client", "program", "namespace", "options",
                  "state", "submitted_at", "started_at", "finished_at",
-                 "result", "error", "cancel_event", "wall_seconds")
+                 "result", "error", "cancel_event", "wall_seconds",
+                 "token", "incidents", "restored")
 
-    def __init__(self, job_id, client, program, namespace, options=None):
+    def __init__(self, job_id, client, program, namespace, options=None,
+                 token=None):
         self.job_id = job_id
         self.client = client
         self.program = program  # loader.image.Program
@@ -67,6 +69,11 @@ class Job:
         self.error = None
         self.cancel_event = threading.Event()
         self.wall_seconds = None
+        # Client-supplied idempotency token: a resubmission carrying
+        # the same token dedups onto this job, across daemon restarts.
+        self.token = token
+        self.incidents = []  # structured watchdog incidents, if any
+        self.restored = False  # replayed from the journal after a crash
 
     # -- transitions (caller holds whatever lock guards the job) -------------
 
@@ -106,7 +113,12 @@ class Job:
             "finished_at": self.finished_at,
             "wall_seconds": self.wall_seconds,
             "error": self.error,
+            "token": self.token,
         }
+        if self.restored:
+            out["restored"] = True
+        if self.incidents:
+            out["incidents"] = list(self.incidents)
         if self.result is not None:
             for key in ("halted", "total_instructions", "hits",
                         "first_splice_seconds", "warm_entries",

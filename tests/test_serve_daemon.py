@@ -385,3 +385,59 @@ class TestResourceManager:
             assert daemon._runnable(job)
         finally:
             daemon.close()
+
+
+class TestDegradedMode:
+    def test_selfcheck_flips_to_degraded_and_jobs_still_run(self, tmp_path,
+                                                            collatz):
+        expected = sequential_state(collatz.program)
+        # An impossible headroom floor forces the self-check verdict to
+        # "degraded" on its first pass.
+        config = ServeConfig(socket_path=str(tmp_path / "serve.sock"),
+                             cache_dir=str(tmp_path / "cache"),
+                             watchdog_interval_seconds=0.05,
+                             selfcheck_interval_seconds=0.1,
+                             min_shm_headroom_bytes=2 ** 62)
+        with SpeculationDaemon(config).start() as daemon:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and not daemon.degraded:
+                time.sleep(0.02)
+            assert daemon.degraded
+            assert "headroom" in daemon.degraded_reason
+
+            with ServeClient(config.socket_path, client="t") as client:
+                pong = client.ping()
+                assert pong["degraded"] is True
+                # Degraded jobs run sequentially (no pool, no cache
+                # write-through) but the answer is still byte-identical.
+                result = client.run(collatz.program,
+                                    **submit_options(collatz))
+                status = client.status()
+            assert result["degraded"] is True
+            assert result["backend"] == "serve-degraded"
+            assert base64.b64decode(result["final_state"]) == expected
+            assert result["merged_entries"] == 0
+            assert status["degraded"] is True
+            assert status["journal"]["mode"] == "degraded"
+            assert daemon.jobs_degraded == 1
+
+    def test_degraded_mode_is_journaled_across_restart(self, tmp_path):
+        socket_path = str(tmp_path / "serve.sock")
+        cache_dir = str(tmp_path / "cache")
+        config = ServeConfig(socket_path=socket_path, cache_dir=cache_dir,
+                             watchdog_interval_seconds=0.05,
+                             selfcheck_interval_seconds=0.1,
+                             min_shm_headroom_bytes=2 ** 62)
+        with SpeculationDaemon(config).start() as daemon:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and not daemon.degraded:
+                time.sleep(0.02)
+            assert daemon.degraded
+            daemon.close()
+
+        # The healthy restart re-evaluates instead of trusting the old
+        # verdict: with a sane floor the daemon comes back normal.
+        config2 = ServeConfig(socket_path=socket_path, cache_dir=cache_dir,
+                              min_shm_headroom_bytes=1)
+        with SpeculationDaemon(config2).start() as daemon2:
+            assert not daemon2.degraded

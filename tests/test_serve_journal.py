@@ -1,0 +1,204 @@
+"""JobJournal: WAL round trips, torn tails, and the result store."""
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro.bench import build_collatz
+from repro.serve import JobJournal, JournalError
+from repro.serve.journal import MAX_RECORD_BYTES
+from repro.serve.queue import Job
+
+
+@pytest.fixture(scope="module")
+def collatz():
+    return build_collatz(count=12)
+
+
+def make_job(collatz, job_id="j1", token="tok-1", client="A"):
+    program = collatz.program
+    return Job(job_id, client, program, program.image_hash(),
+               options={"max_instructions": 1000}, token=token)
+
+
+class TestRoundTrip:
+    def test_replay_restores_submissions_and_states(self, tmp_path,
+                                                    collatz):
+        directory = str(tmp_path / "journal")
+        with JobJournal(directory) as journal:
+            job = make_job(collatz)
+            journal.record_submit(job, "tok-1")
+            journal.record_state("j1", "running")
+            journal.record_state("j1", "done",
+                                 extra={"state_sha256": "abc"})
+            journal.record_mode("degraded", reason="test")
+
+        with JobJournal(directory) as replayed:
+            assert replayed.records_replayed == 4
+            assert replayed.mode == "degraded"
+            job = replayed.jobs["j1"]
+            assert job.token == "tok-1"
+            assert job.client == "A"
+            assert job.state == "done"
+            assert not job.interrupted
+            assert job.summary_extra == {"state_sha256": "abc"}
+            assert job.namespace == collatz.program.image_hash()
+            # The program round-trips well enough to re-run the job.
+            from repro.loader.image import Program
+            program = Program.from_dict(job.program_dict)
+            assert program.image_hash() == collatz.program.image_hash()
+
+    def test_interrupted_jobs_are_the_requeue_set(self, tmp_path, collatz):
+        directory = str(tmp_path / "journal")
+        with JobJournal(directory) as journal:
+            journal.record_submit(make_job(collatz, "j1", "t1"), "t1")
+            journal.record_submit(make_job(collatz, "j2", "t2"), "t2")
+            journal.record_submit(make_job(collatz, "j3", "t3"), "t3")
+            journal.record_state("j1", "running")
+            journal.record_state("j1", "done")
+            journal.record_state("j2", "running")  # dies mid-run
+
+        with JobJournal(directory) as replayed:
+            interrupted = [job.job_id for job
+                           in replayed.interrupted_jobs()]
+            assert interrupted == ["j2", "j3"]
+            assert replayed.max_job_number() == 3
+
+    def test_incidents_replay_onto_the_job(self, tmp_path, collatz):
+        directory = str(tmp_path / "journal")
+        with JobJournal(directory) as journal:
+            journal.record_submit(make_job(collatz), "t")
+            journal.record_incident("j1", {"kind": "deadline"})
+        with JobJournal(directory) as replayed:
+            assert replayed.jobs["j1"].incidents == [{"kind": "deadline"}]
+
+    def test_oversized_record_refused(self, tmp_path, collatz):
+        with JobJournal(str(tmp_path / "journal")) as journal:
+            with pytest.raises(JournalError):
+                journal.record_state("j1", "x" * (MAX_RECORD_BYTES + 1))
+
+
+class TestDamage:
+    def write_two_records(self, directory, collatz):
+        with JobJournal(directory) as journal:
+            journal.record_submit(make_job(collatz), "t1")
+            journal.record_state("j1", "running")
+        return os.path.join(directory, "journal.ascj")
+
+    def test_torn_tail_truncated_to_last_good_record(self, tmp_path,
+                                                     collatz):
+        directory = str(tmp_path / "journal")
+        path = self.write_two_records(directory, collatz)
+        size = os.path.getsize(path)
+        os.truncate(path, size - 3)  # shear the CRC of the last record
+
+        with JobJournal(directory) as replayed:
+            assert replayed.truncated_bytes > 0
+            assert replayed.records_replayed == 1
+            job = replayed.jobs["j1"]
+            assert job.state == "queued"  # the running record was torn
+            # The file was physically truncated and appends continue.
+            replayed.record_state("j1", "running")
+        with JobJournal(directory) as again:
+            assert again.truncated_bytes == 0
+            assert again.records_replayed == 2
+            assert again.jobs["j1"].state == "running"
+
+    def test_garbage_tail_truncated(self, tmp_path, collatz):
+        directory = str(tmp_path / "journal")
+        path = self.write_two_records(directory, collatz)
+        with open(path, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef not a section")
+        with JobJournal(directory) as replayed:
+            assert replayed.records_replayed == 2
+            assert replayed.truncated_bytes > 0
+
+    def test_flipped_byte_stops_replay_at_the_damage(self, tmp_path,
+                                                     collatz):
+        directory = str(tmp_path / "journal")
+        path = self.write_two_records(directory, collatz)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 10)  # inside the final record
+            byte = handle.read(1)
+            handle.seek(size - 10)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with JobJournal(directory) as replayed:
+            assert replayed.records_replayed == 1
+
+    def test_foreign_file_moved_aside_not_refused(self, tmp_path):
+        directory = str(tmp_path / "journal")
+        os.makedirs(directory)
+        path = os.path.join(directory, "journal.ascj")
+        with open(path, "wb") as handle:
+            handle.write(b"#!/bin/sh\necho not a journal\n")
+        with JobJournal(directory) as journal:
+            assert journal.records_replayed == 0
+            assert journal.jobs == {}
+        assert os.path.exists(path + ".corrupt")
+
+    def test_sub_header_fragment_starts_fresh(self, tmp_path):
+        directory = str(tmp_path / "journal")
+        os.makedirs(directory)
+        path = os.path.join(directory, "journal.ascj")
+        with open(path, "wb") as handle:
+            handle.write(b"AS")  # crash during the very first write
+        with JobJournal(directory) as journal:
+            assert journal.truncated_bytes == 2
+            assert journal.records_replayed == 0
+
+
+class TestResultStore:
+    def test_round_trip_and_missing(self, tmp_path):
+        with JobJournal(str(tmp_path / "journal")) as journal:
+            journal.store_result("j1", {"halted": True, "hits": 3})
+            assert journal.load_result("j1") == {"halted": True, "hits": 3}
+            assert journal.load_result("j404") is None
+
+    def test_torn_result_reads_as_missing(self, tmp_path):
+        with JobJournal(str(tmp_path / "journal")) as journal:
+            journal.store_result("j1", {"halted": True})
+            path = os.path.join(journal.results_dir, "j1.json")
+            with open(path, "w") as handle:
+                handle.write('{"halted": tr')
+            assert journal.load_result("j1") is None
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        with JobJournal(str(tmp_path / "journal"),
+                        result_store_bytes=200) as journal:
+            for i in range(1, 5):
+                journal.store_result("j%d" % i, {"blob": "x" * 60})
+                path = os.path.join(journal.results_dir, "j%d.json" % i)
+                os.utime(path, (i, i))  # make eviction order unambiguous
+            journal._prune_results()
+            remaining = sorted(name for name
+                               in os.listdir(journal.results_dir)
+                               if name.endswith(".json"))
+            assert "j4.json" in remaining
+            assert "j1.json" not in remaining
+            total = sum(os.path.getsize(
+                os.path.join(journal.results_dir, name))
+                for name in remaining)
+            assert total <= 200
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        with JobJournal(str(tmp_path / "journal")) as journal:
+            journal.store_result("j1", {"halted": True})
+            leftovers = [name for name in os.listdir(journal.results_dir)
+                         if name.endswith(".tmp")]
+            assert leftovers == []
+
+
+class TestStats:
+    def test_stats_dict_shape(self, tmp_path, collatz):
+        with JobJournal(str(tmp_path / "journal")) as journal:
+            journal.record_submit(make_job(collatz), "t")
+            journal.store_result("j1", {"halted": True})
+            stats = journal.stats_dict()
+        assert stats["records_appended"] == 1
+        assert stats["jobs_replayed"] == 0
+        assert stats["result_files"] == 1
+        assert stats["result_bytes"] > 0
+        assert stats["mode"] == "normal"

@@ -5,6 +5,7 @@ import struct
 
 import pytest
 
+from repro.serve import ServeClient, ServeConfig, SpeculationDaemon
 from repro.serve import protocol
 
 
@@ -105,3 +106,101 @@ class TestDaemonRunning:
         stale = tmp_path / "stale.sock"
         stale.write_bytes(b"")
         assert not protocol.daemon_running(str(stale))
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    config = ServeConfig(socket_path=str(tmp_path / "serve.sock"))
+    instance = SpeculationDaemon(config).start()
+    yield instance
+    instance.close()
+
+
+class TestDaemonHardening:
+    """Hostile bytes on the wire: every shape of malformed input gets a
+    per-connection error (or a clean close), never a daemon crash or a
+    stuck accept loop."""
+
+    def assert_daemon_alive(self, daemon):
+        with ServeClient(daemon.config.socket_path, client="probe") as c:
+            assert c.ping()["ok"]
+
+    def test_garbage_length_prefix(self, daemon):
+        sock = protocol.connect(daemon.config.socket_path, timeout=10.0)
+        try:
+            sock.sendall(b"GET ")  # an ASCII prefix reads as a huge length
+            response = protocol.recv_message(sock)
+            assert response["ok"] is False
+            assert response["code"] == "protocol"
+            # The poisoned connection is closed after the error frame.
+            assert protocol.recv_message(sock) is None
+        finally:
+            sock.close()
+        assert daemon.protocol_errors >= 1
+        self.assert_daemon_alive(daemon)
+
+    def test_garbage_trailing_the_prefix_never_crashes(self, daemon):
+        # With unread hostile bytes still queued the error frame may be
+        # lost to a reset — either way the *daemon* stays healthy.
+        sock = protocol.connect(daemon.config.socket_path, timeout=10.0)
+        try:
+            sock.sendall(b"GET / HTTP/1.1\r\n\r\n")
+            try:
+                response = protocol.recv_message(sock)
+                assert response is None or response["ok"] is False
+            except (OSError, protocol.ProtocolError):
+                pass
+        finally:
+            sock.close()
+        self.assert_daemon_alive(daemon)
+
+    def test_over_cap_frame_rejected_without_allocation(self, daemon):
+        sock = protocol.connect(daemon.config.socket_path, timeout=10.0)
+        try:
+            sock.sendall(struct.pack("!I", protocol.MAX_FRAME_BYTES + 1))
+            response = protocol.recv_message(sock)
+            assert response["ok"] is False
+            assert response["code"] == "protocol"
+        finally:
+            sock.close()
+        self.assert_daemon_alive(daemon)
+
+    def test_truncated_frame_then_close(self, daemon):
+        sock = protocol.connect(daemon.config.socket_path, timeout=10.0)
+        frame = protocol.encode_message({"verb": "ping"})
+        sock.sendall(frame[:len(frame) - 3])
+        sock.close()  # EOF mid-frame on the daemon side
+        self.assert_daemon_alive(daemon)
+
+    def test_non_object_body_gets_error_response(self, daemon):
+        sock = protocol.connect(daemon.config.socket_path, timeout=10.0)
+        try:
+            body = b"[1, 2, 3]"
+            sock.sendall(struct.pack("!I", len(body)) + body)
+            response = protocol.recv_message(sock)
+            assert response["ok"] is False
+            assert response["code"] == "protocol"
+        finally:
+            sock.close()
+        self.assert_daemon_alive(daemon)
+
+    def test_half_open_socket_does_not_wedge_accept(self, daemon):
+        # A client that connects and never sends a byte must not block
+        # the accept loop (connections are served on their own threads
+        # with a read timeout, not inline in accept).
+        idlers = [protocol.connect(daemon.config.socket_path, timeout=10.0)
+                  for __ in range(4)]
+        try:
+            self.assert_daemon_alive(daemon)
+            with ServeClient(daemon.config.socket_path, client="live") as c:
+                assert c.stats()["queue"]["queued"] == 0
+        finally:
+            for sock in idlers:
+                sock.close()
+
+    def test_burst_of_bad_connections_is_contained(self, daemon):
+        for __ in range(8):
+            sock = protocol.connect(daemon.config.socket_path, timeout=10.0)
+            sock.sendall(b"\xff\xff\xff\xff")
+            sock.close()
+        self.assert_daemon_alive(daemon)

@@ -17,7 +17,9 @@ import pytest
 
 from repro.bench import build_collatz
 from repro.core.config import EngineConfig
-from repro.serve import ServeClient, ServeConfig, SpeculationDaemon
+from repro.minic import compile_source
+from repro.serve import (ServeClient, ServeClientError, ServeConfig,
+                         ServeError, SpeculationDaemon)
 
 REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src")
@@ -134,6 +136,196 @@ def serve_process(tmp_path):
     if process.poll() is None:
         process.kill()
     process.wait(timeout=10)
+
+
+def start_serve(socket_path, cache_dir):
+    """Spawn a ``repro serve`` child and wait for its socket bind."""
+    try:
+        os.unlink(socket_path)  # stale after a SIGKILL
+    except OSError:
+        pass
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", socket_path,
+         "--cache-dir", cache_dir, "--worker-budget", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    assert wait_for_socket(socket_path), "daemon never bound its socket"
+    return process
+
+
+class TestCrashOnly:
+    """The tentpole property: a SIGKILLed daemon restarted under the
+    same socket path finishes the same journaled work, byte-identical
+    to a sequential run, found again by the client's idempotency
+    token."""
+
+    def test_sigkill_then_restart_replays_byte_identical(self, tmp_path,
+                                                         collatz):
+        socket_path = str(tmp_path / "proc.sock")
+        cache_dir = str(tmp_path / "cache")
+        expected = sequential_state(collatz.program)
+
+        gen1 = start_serve(socket_path, cache_dir)
+        try:
+            with ServeClient(socket_path, client="A") as client:
+                submitted = client.submit(collatz.program,
+                                          **submit_options(collatz))
+                token = submitted["token"]
+            # The submit was WAL'd before the ack we just received, so
+            # SIGKILL right now — job queued or barely running — must
+            # not lose it.
+            gen1.kill()
+            gen1.wait(timeout=30)
+
+            gen2 = start_serve(socket_path, cache_dir)
+            try:
+                with ServeClient(socket_path, client="A",
+                                 retries=8) as client:
+                    status = client.status()
+                    assert status["jobs"]["replayed"] >= 1
+                    job = client.wait(token=token, timeout=120.0)
+                    assert job["state"] == "done"
+                    assert job["restored"] is True
+                    assert job["token"] == token
+                    final = client.final_state(token=token)
+                assert final == expected
+            finally:
+                gen2.terminate()
+                gen2.wait(timeout=30)
+        finally:
+            if gen1.poll() is None:
+                gen1.kill()
+                gen1.wait(timeout=30)
+
+    def test_result_survives_restart_via_result_store(self, tmp_path,
+                                                      collatz):
+        socket_path = str(tmp_path / "proc.sock")
+        cache_dir = str(tmp_path / "cache")
+
+        gen1 = start_serve(socket_path, cache_dir)
+        try:
+            with ServeClient(socket_path, client="A") as client:
+                first = client.run(collatz.program,
+                                   **submit_options(collatz))
+                token = client.last_token
+            gen1.kill()  # after completion: the result must outlive us
+            gen1.wait(timeout=30)
+
+            gen2 = start_serve(socket_path, cache_dir)
+            try:
+                with ServeClient(socket_path, client="A",
+                                 retries=8) as client:
+                    job = client.poll(token=token)
+                    assert job["state"] == "done"
+                    replayed = client.result(token=token)
+                assert replayed["final_state"] == first["final_state"]
+                assert replayed["state_sha256"] == first["state_sha256"]
+            finally:
+                gen2.terminate()
+                gen2.wait(timeout=30)
+        finally:
+            if gen1.poll() is None:
+                gen1.kill()
+                gen1.wait(timeout=30)
+
+    def test_resubmission_with_same_token_dedups_after_restart(
+            self, tmp_path, collatz):
+        socket_path = str(tmp_path / "g.sock")
+        cache_dir = str(tmp_path / "cache")
+        config = ServeConfig(socket_path=socket_path, cache_dir=cache_dir)
+        with SpeculationDaemon(config).start() as daemon:
+            with ServeClient(socket_path, client="A") as client:
+                first = client.submit(collatz.program, token="tok-x",
+                                      **submit_options(collatz))
+                client.wait(token="tok-x")
+            daemon.close()
+
+        config2 = ServeConfig(socket_path=socket_path, cache_dir=cache_dir)
+        with SpeculationDaemon(config2).start():
+            with ServeClient(socket_path, client="A") as client:
+                again = client.submit(collatz.program, token="tok-x",
+                                      **submit_options(collatz))
+                assert again["deduped"] is True
+                assert again["job_id"] == first["job_id"]
+
+
+class TestStartLock:
+    def test_two_concurrent_starts_one_wins(self, tmp_path):
+        config = ServeConfig(socket_path=str(tmp_path / "serve.sock"))
+        with SpeculationDaemon(config).start():
+            loser = SpeculationDaemon(
+                ServeConfig(socket_path=config.socket_path))
+            with pytest.raises(ServeError) as info:
+                loser.start()
+            message = str(info.value)
+            assert str(os.getpid()) in message  # names the owner
+            loser.close()
+
+        # With the winner gone the path is free again.
+        with SpeculationDaemon(
+                ServeConfig(socket_path=config.socket_path)).start():
+            with ServeClient(config.socket_path) as client:
+                assert client.ping()["ok"]
+
+    def test_lock_file_removed_on_clean_close(self, tmp_path):
+        config = ServeConfig(socket_path=str(tmp_path / "serve.sock"))
+        SpeculationDaemon(config).start().close()
+        assert not os.path.exists(config.socket_path)
+        assert not os.path.exists(config.socket_path + ".lock")
+
+
+@pytest.fixture(scope="module")
+def looper():
+    """A program that burns ~2e9 iterations: never finishes inside a
+    test, so only the watchdog can end its job."""
+    return compile_source("""
+        int out;
+        int main() {
+            int i = 0;
+            while (i < 2000000000) { i = i + 1; }
+            out = i;
+            return out;
+        }
+    """, name="looper")
+
+
+class TestWatchdogIntegration:
+    def test_deadline_reaps_wedged_job_without_starving_others(
+            self, tmp_path, collatz, looper):
+        expected = sequential_state(collatz.program)
+        config = ServeConfig(socket_path=str(tmp_path / "serve.sock"),
+                             cache_dir=str(tmp_path / "cache"),
+                             worker_budget=4, workers_per_job=2,
+                             max_concurrent_jobs=2,
+                             watchdog_interval_seconds=0.05,
+                             kill_grace_seconds=0.5)
+        with SpeculationDaemon(config).start() as daemon:
+            with ServeClient(config.socket_path, client="wedged") as stuck:
+                stuck.submit(looper, token="stuck",
+                             deadline_seconds=1.0)
+                # A concurrent, healthy client is not starved while the
+                # watchdog deals with the wedged job.
+                with ServeClient(config.socket_path,
+                                 client="healthy") as client:
+                    result = client.run(collatz.program,
+                                        **submit_options(collatz))
+                assert base64.b64decode(
+                    result["final_state"]) == expected
+
+                job = stuck.wait(token="stuck", timeout=60.0)
+                assert job["state"] == "failed"
+                assert "watchdog" in (job.get("error") or "").lower() or \
+                    any(i.get("kind") == "deadline"
+                        for i in job.get("incidents", []))
+                # The reap was journaled as a structured incident.
+                assert daemon.watchdog.deadline_timeouts == 1
+
+            # The queue is not wedged: new work still flows.
+            with ServeClient(config.socket_path, client="after") as client:
+                again = client.run(collatz.program,
+                                   **submit_options(collatz))
+            assert base64.b64decode(again["final_state"]) == expected
 
 
 class TestSigterm:
