@@ -134,6 +134,19 @@ def _supervision_line(runtime):
                runtime.faults_injected))
 
 
+def _autoscale_line(policy, runtime):
+    last = runtime.autoscale_decisions[-1] if runtime.autoscale_decisions \
+        else None
+    line = ("autoscale %s: %d resizes (%d grown, %d parked, "
+            "%d tasks parked)"
+            % (policy, runtime.autoscale_resizes, runtime.workers_grown,
+               runtime.workers_parked, runtime.tasks_parked))
+    if last is not None:
+        line += "; last target %d @ superstep %d" % (last["target"],
+                                                     last["superstep"])
+    return line
+
+
 def _wire_line(transport, runtime):
     """Logical vs physical transport bytes, one human-readable line."""
     logical = runtime.logical_bytes_sent + runtime.logical_bytes_received
@@ -161,7 +174,8 @@ def _run_real_backend(program, args):
         superstep_scale=args.superstep_scale,
         max_instructions=args.max_instructions,
         transport=getattr(args, "transport", None),
-        fault_plan=getattr(args, "fault_plan", None))
+        fault_plan=getattr(args, "fault_plan", None),
+        autoscale=getattr(args, "autoscale", "off"))
     checkpointer, resume_from = _checkpoint_setup(args, program)
     engine = RealParallelEngine(program, config=_engine_config(args),
                                 runtime_config=runtime_config,
@@ -198,6 +212,8 @@ def _run_real_backend(program, args):
                  runtime.tasks_crashed, runtime.tasks_timed_out))
         print(_wire_line(runtime_config.transport, runtime))
         print(_supervision_line(runtime))
+        if runtime_config.autoscale != "off":
+            print(_autoscale_line(runtime_config.autoscale, runtime))
         if result.audit is not None:
             print(_verify_line(result.audit))
         if engine.resumed_instructions:
@@ -325,7 +341,8 @@ def _scale_real_backend(program, args):
     for n_workers in (int(w) for w in args.workers.split(",")):
         runtime_config = RuntimeConfig(
             n_workers=n_workers, superstep_scale=args.superstep_scale,
-            transport=getattr(args, "transport", None))
+            transport=getattr(args, "transport", None),
+            autoscale=getattr(args, "autoscale", "off"))
         checkpointer, resume_from = _checkpoint_setup(
             program=program, args=args, subdir="w%d" % n_workers)
         result = RealParallelEngine(
@@ -543,8 +560,10 @@ def _chaos_serve(args):
     restarts = 0
     proc = start_daemon()
     try:
+        # Seed the backoff jitter from the chaos seed so reconnect
+        # timing replays with the rest of the fault schedule.
         client = ServeClient(socket_path, client="chaos", retries=10,
-                             timeout=args.timeout)
+                             timeout=args.timeout, jitter_seed=args.seed)
         submitted = client.submit(program, **options)
         token = submitted["token"]
         deadline = time.monotonic() + args.timeout
@@ -770,7 +789,8 @@ def _serve_config(args):
         journal_fsync=getattr(args, "journal_fsync", True),
         job_deadline_seconds=getattr(args, "job_deadline", None),
         no_progress_seconds=getattr(args, "no_progress_seconds", 20.0),
-        kill_grace_seconds=getattr(args, "kill_grace_seconds", 5.0))
+        kill_grace_seconds=getattr(args, "kill_grace_seconds", 5.0),
+        autoscale=getattr(args, "autoscale", "off"))
 
 
 def cmd_serve(args):
@@ -1018,6 +1038,17 @@ def build_parser():
                             "sends full payloads inline (default follows "
                             "REPRO_TRANSPORT, else shm where available)")
 
+    def add_autoscale_flag(p):
+        p.add_argument("--autoscale",
+                       choices=["off", "react", "hist", "reg"],
+                       default="off",
+                       help="elastic worker autoscaling policy sampled at "
+                            "superstep boundaries: 'react' (payoff "
+                            "thresholds), 'hist' (windowed payoff "
+                            "distribution), 'reg' (payoff trend fit); "
+                            "'off' keeps the static pool byte-identical "
+                            "to previous behavior")
+
     def add_checkpoint_flags(p):
         p.add_argument("--checkpoint-dir", dest="checkpoint_dir",
                        help="write periodic durable checkpoints here")
@@ -1052,6 +1083,7 @@ def build_parser():
     add_transport_flag(p)
     add_verify_flags(p)
     add_checkpoint_flags(p)
+    add_autoscale_flag(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("scale", help="ASC scaling sweep")
@@ -1078,6 +1110,7 @@ def build_parser():
     add_transport_flag(p)
     add_verify_flags(p)
     add_checkpoint_flags(p)
+    add_autoscale_flag(p)
     p.set_defaults(func=cmd_scale)
 
     p = sub.add_parser("memoize",
@@ -1226,6 +1259,7 @@ def build_parser():
                    type=float, default=5.0,
                    help="grace between watchdog escalation stages")
     add_transport_flag(p)
+    add_autoscale_flag(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

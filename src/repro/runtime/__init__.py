@@ -27,9 +27,19 @@ Layers:
   deterministic fault injection at the pool's failure seams;
 * :mod:`repro.runtime.engine` — :class:`RealParallelEngine`: the
   Figure 1 loop against real workers and real wall-clock time, with
-  checkpoint/restore via :mod:`repro.core.checkpoint`.
+  checkpoint/restore via :mod:`repro.core.checkpoint`;
+* :mod:`repro.runtime.autoscaler` — :class:`Autoscaler`: elastic
+  worker-count policies sampled at superstep boundaries, steering the
+  pool's live width by the paper's expected-utility economics.
 """
 
+from repro.runtime.autoscaler import (
+    POLICIES as AUTOSCALE_POLICIES,
+    AutoscaleSignals,
+    Autoscaler,
+    make_autoscaler,
+    resolve_autoscaler,
+)
 from repro.runtime.config import TRANSPORTS, RuntimeConfig
 from repro.runtime.engine import RealParallelEngine, RealParallelResult
 from repro.runtime.faults import FaultPlan, FaultPlanError
@@ -49,6 +59,9 @@ from repro.runtime.supervisor import Supervisor, WorkerHealth
 from repro.runtime.wire import WireError
 
 __all__ = [
+    "AUTOSCALE_POLICIES",
+    "AutoscaleSignals",
+    "Autoscaler",
     "FaultPlan",
     "FaultPlanError",
     "PoolError",
@@ -69,4 +82,6 @@ __all__ = [
     "WireError",
     "WorkerHealth",
     "WorkerPool",
+    "make_autoscaler",
+    "resolve_autoscaler",
 ]

@@ -110,7 +110,21 @@ class RuntimeConfig:
                  # Deterministic fault injection: a FaultPlan instance, a
                  # spec string ("seed=42,kill=2,corrupt=1"), or None.
                  # When None, REPRO_FAULT_PLAN supplies a spec.
-                 fault_plan=None):
+                 fault_plan=None,
+                 # Elastic autoscaling (runtime/autoscaler.py): "off"
+                 # keeps the fixed-width pool; "react"/"hist"/"reg"
+                 # sample the policy at every superstep boundary and
+                 # resize the pool toward its target. ``n_workers``
+                 # stays the starting width; the policy moves within
+                 # [autoscale_min_workers, autoscale_max_workers]
+                 # (None: n_workers), deciding at most once per
+                 # ``autoscale_cooldown`` boundaries over a payoff
+                 # window of ``autoscale_window`` samples.
+                 autoscale="off",
+                 autoscale_min_workers=0,
+                 autoscale_max_workers=None,
+                 autoscale_cooldown=8,
+                 autoscale_window=16):
         self.n_workers = n_workers
         self.queue_depth = queue_depth
         self.task_timeout_seconds = task_timeout_seconds
@@ -132,6 +146,14 @@ class RuntimeConfig:
                              % ("/".join(TRANSPORTS), self.transport))
         self.shm_ring_bytes = shm_ring_bytes
         self.fault_plan = fault_plan
+        if autoscale not in ("off", "react", "hist", "reg"):
+            raise ValueError("autoscale must be off/react/hist/reg, not %r"
+                             % (autoscale,))
+        self.autoscale = autoscale
+        self.autoscale_min_workers = autoscale_min_workers
+        self.autoscale_max_workers = autoscale_max_workers
+        self.autoscale_cooldown = autoscale_cooldown
+        self.autoscale_window = autoscale_window
 
     def resolve_fault_plan(self):
         """The effective plan: the configured one, or REPRO_FAULT_PLAN."""

@@ -54,6 +54,7 @@ from repro.core.stats import RunStats
 from repro.core.trajectory_cache import TrajectoryCache
 from repro.errors import EngineError
 from repro.machine.layout import STOP_BREAKPOINT
+from repro.runtime.autoscaler import AutoscaleSignals, resolve_autoscaler
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.pool import TASK_FAILED, TASK_OK, WorkerPool
 from repro.runtime.stats import RuntimeStats
@@ -245,8 +246,15 @@ class RealParallelEngine:
         spec_budget = recognized.speculation_budget(
             config.speculation_budget_factor) * scale
         mean_jump = recognized.mean_gap * stride
+        autoscaler = resolve_autoscaler(rtc)
+        width = pool.n_workers
+        if autoscaler is not None:
+            # The chain must be able to feed the pool at its *ceiling*,
+            # not just its starting width, or grown workers would have
+            # nothing to speculate.
+            width = max(width, autoscaler.max_workers)
         max_rollout = config.max_rollout or max(
-            1, pool.n_workers * rtc.queue_depth)
+            1, width * rtc.queue_depth)
 
         tracker = ExcitationTracker(program.layout, config)
         mask = RelevanceMask(tracker)
@@ -362,6 +370,21 @@ class RealParallelEngine:
                         # sequentially from here.
                         auditor.apply_rollback(rb, main, stats)
                         continue
+                if autoscaler is not None:
+                    target = autoscaler.observe(AutoscaleSignals(
+                        stats.supersteps, pool.active_workers,
+                        pool.parked_workers, rtc.queue_depth,
+                        pool.inflight_count(),
+                        sum(allocator.probabilities()) * mean_jump,
+                        stride, stats.hits, stats.queries,
+                        stats.instructions_executed,
+                        stats.instructions_fast_forwarded,
+                        runtime.entries_shipped, len(used_entries),
+                        runtime.dispatch_backpressure))
+                    if target is not None:
+                        grown, parked = pool.resize(target)
+                        if grown or parked:
+                            runtime.autoscale_resizes += 1
                 # The supervisor's verdict: a pool that fell below its
                 # worker floor degrades the run to sequential execution
                 # (no dispatch, no waiting) without touching the cache;
@@ -391,12 +414,24 @@ class RealParallelEngine:
                 if stats.first_splice_seconds is None:
                     stats.first_splice_seconds = time.perf_counter() - t0
                 pre_splice_count = base_instructions + progress()
-                entry.apply(buf)
+                applied = entry
+                if pool.faults is not None and id(entry) in entry_ids:
+                    # Entry-level fault injection (the CRC-valid
+                    # divergence class only the verify subsystem can
+                    # catch) lands at *splice* time: the splice sequence
+                    # is the deterministic main-thread trajectory,
+                    # whereas arrival order varies with OS scheduling
+                    # and could spend a taint on an entry that is never
+                    # used — an unobservable fault.
+                    if pool.faults.next_entry_fault() == "taint":
+                        applied = pool.faults.taint_entry(entry)
+                        runtime.faults_injected += 1
+                applied.apply(buf)
                 if id(entry) in entry_ids:
                     used_entries.add(id(entry))
-                stats.instructions_fast_forwarded += entry.length
+                stats.instructions_fast_forwarded += applied.length
                 if auditor is not None and auditor.verify_splice(
-                        entry, buf, snapshot, stats, pool=pool,
+                        applied, buf, snapshot, stats, pool=pool,
                         instruction_count=pre_splice_count):
                     # Strict/inline audit refuted the splice; it is
                     # already rolled back — replay sequentially.
@@ -419,6 +454,9 @@ class RealParallelEngine:
                 self._plain_run(main, stats, guard, checkpoint)
         wall = time.perf_counter() - t0
         drain(0.0)  # final sweep so the counters reflect stragglers
+        if autoscaler is not None:
+            runtime.autoscale_decisions.extend(autoscaler.decisions)
+            del runtime.autoscale_decisions[:-512]
         runtime.entries_used = len(used_entries)
         runtime.tasks_wasted = runtime.entries_shipped - len(used_entries)
         return self._result(main, recognized, wall, stats, runtime, cache,

@@ -17,8 +17,8 @@ failures injected at the seams the pool already has to survive:
   EWMA and the inflight-wait ledger);
 * ``drop`` — discard a received result outright (the worker answered,
   the answer is lost; the target must be re-speculated);
-* ``taint`` — semantically corrupt a decoded cache entry before it
-  reaches the trajectory cache (wrong end byte, dropped dependency,
+* ``taint`` — semantically corrupt a worker-shipped cache entry as it
+  is spliced into the main state (wrong end byte, dropped dependency,
   inflated length). Unlike ``corrupt`` this damage is *CRC-valid*: no
   transport check can see it, only the verify subsystem's shadow audit
   (`repro audit`, ``--verify-rate``) catches it.
@@ -148,11 +148,14 @@ class FaultPlan:
         return kind
 
     def next_entry_fault(self):
-        """Fault to apply to this decoded cache entry (or ``None``).
+        """Fault to apply to this spliced cache entry (or ``None``).
 
-        Counted on its own event stream — an event is one result frame
-        that actually carried an entry, so a ``taint`` quota is never
-        wasted on entry-less (fault/budget/empty) results.
+        Counted on its own event stream — an event is one *splice* of a
+        worker-shipped entry into the main state. Splices follow the
+        deterministic main-thread trajectory (arrival order does not:
+        OS scheduling perturbs it, and a taint spent on an entry that
+        never splices is an unobservable fault), so a ``taint`` quota
+        always lands where the verify subsystem can catch it.
         """
         kind = self._next(self._entry_queue, self._entry_events, None)
         self._entry_events += 1

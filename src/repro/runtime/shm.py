@@ -259,10 +259,31 @@ class ShmRing:
         if not (self.created or force):
             return
         _unregister_created(self.shm.name)
+        original_unregister = None
+        if not self.created and resource_tracker is not None:
+            # Forced reap from the *attached* side: this process never
+            # registered the segment, so it must not unregister either —
+            # under fork it shares the creator's tracker, and yanking
+            # the creator's registration (or dying between the file
+            # unlink and the tracker write) is what desyncs the tracker.
+            original_unregister = resource_tracker.unregister
+            resource_tracker.unregister = lambda *args, **kwargs: None
         try:
             self.shm.unlink()
         except (OSError, FileNotFoundError):
-            pass
+            # The peer reaped the file first. CPython's SharedMemory
+            # raises *before* dropping its tracker registration, which
+            # would warn about a "leaked" segment at interpreter exit —
+            # drop ours explicitly.
+            if self.created and resource_tracker is not None:
+                try:
+                    resource_tracker.unregister(
+                        "/" + self.shm.name, "shared_memory")
+                except Exception:
+                    pass
+        finally:
+            if original_unregister is not None:
+                resource_tracker.unregister = original_unregister
 
 
 def create_ring(capacity):

@@ -74,7 +74,8 @@ class ServeClient:
     """
 
     def __init__(self, socket_path=None, client=None, timeout=30.0,
-                 retries=5, backoff_base=0.05, backoff_max=2.0):
+                 retries=5, backoff_base=0.05, backoff_max=2.0,
+                 jitter_seed=None, rng=None):
         self.socket_path = socket_path or default_socket_path()
         self.client = client or default_client_name()
         self.timeout = timeout
@@ -84,7 +85,10 @@ class ServeClient:
         self.reconnects = 0
         self.retried_requests = 0
         self.last_token = None
-        self._rng = random.Random()
+        # Backoff jitter is seedable (or the RNG injectable outright)
+        # so seeded chaos runs reproduce their reconnect timing; the
+        # default stays entropy-seeded — real fleets *should* desync.
+        self._rng = rng if rng is not None else random.Random(jitter_seed)
         self._sock = None
         self._connect()  # fail fast when there is no daemon at all
 

@@ -80,6 +80,13 @@ class ServeConfig:
                  superstep_scale=1,
                  task_timeout_seconds=30.0,
                  transport=None,
+                 # Elastic autoscaling policy for job pools ("off",
+                 # "react", "hist", "reg"). When on, each job's engine
+                 # may shrink its pool below the lease width — the freed
+                 # workers return to the shared budget, so other warm
+                 # namespaces can admit jobs sooner. The lease width
+                 # stays the per-pool ceiling.
+                 autoscale="off",
                  # Socket accept backlog.
                  backlog=16):
         self.socket_path = socket_path or default_socket_path()
@@ -108,6 +115,10 @@ class ServeConfig:
         self.superstep_scale = superstep_scale
         self.task_timeout_seconds = task_timeout_seconds
         self.transport = transport
+        if autoscale not in ("off", "react", "hist", "reg"):
+            raise ValueError("autoscale must be off/react/hist/reg, "
+                             "got %r" % (autoscale,))
+        self.autoscale = autoscale
         self.backlog = backlog
 
     def replace(self, **kwargs):

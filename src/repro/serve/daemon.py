@@ -817,14 +817,26 @@ class SpeculationDaemon:
                     self._job_threads[job.job_id] = thread
                 thread.start()
 
+    @staticmethod
+    def _lease_workers(lease):
+        """Live worker count charged against the budget. An autoscaled
+        pool that shrank below its lease width only occupies the slots
+        it actually kept — the difference is free budget other
+        namespaces can admit against. Reading ``active_workers`` from
+        the daemon thread races a job-thread resize benignly: it is an
+        admission heuristic, and the lease width stays the ceiling."""
+        if lease.pool is not None:
+            return lease.pool.active_workers
+        return lease.n_workers
+
     def _runnable(self, job):
         """Resource-manager veto, called under the daemon lock."""
         lease = self._pools.get(job.namespace)
         if lease is not None:
             return not lease.busy  # same image serializes on its pool
         needed = self._job_workers(job)
-        committed = sum(l.n_workers for l in self._pools.values()
-                        if l.busy)
+        committed = sum(self._lease_workers(l)
+                        for l in self._pools.values() if l.busy)
         return committed + needed <= self.config.worker_budget
 
     def _job_workers(self, job):
@@ -839,13 +851,13 @@ class SpeculationDaemon:
             return lease
         needed = self._job_workers(job)
         # Retire idle pools LRU until the new one fits the budget.
-        total = sum(l.n_workers for l in self._pools.values())
+        total = sum(self._lease_workers(l) for l in self._pools.values())
         idle = sorted((l for l in self._pools.values() if not l.busy),
                       key=lambda l: l.last_used)
         while total + needed > self.config.worker_budget and idle:
             victim = idle.pop(0)
             del self._pools[victim.namespace]
-            total -= victim.n_workers
+            total -= self._lease_workers(victim)
             if victim.pool is not None:
                 victim.pool.shutdown()
             self.pools_retired += 1
@@ -865,6 +877,9 @@ class SpeculationDaemon:
 
     def _job_runtime_config(self, job, lease):
         options = job.options
+        # The lease width is the autoscaler's ceiling: a job may shrink
+        # its pool (returning budget to other namespaces) but never grow
+        # past what the resource manager admitted it at.
         return RuntimeConfig(
             n_workers=lease.n_workers,
             superstep_scale=int(options.get("superstep_scale")
@@ -873,7 +888,9 @@ class SpeculationDaemon:
                                  or self.config.max_instructions),
             inflight_wait_bias=float(options.get("inflight_wait_bias", 1.0)),
             task_timeout_seconds=self.config.task_timeout_seconds,
-            transport=lease.transport)
+            transport=lease.transport,
+            autoscale=options.get("autoscale") or self.config.autoscale,
+            autoscale_max_workers=lease.n_workers)
 
     @staticmethod
     def _engine_config(job):
@@ -1135,6 +1152,7 @@ class SpeculationDaemon:
                 "namespace": lease.namespace,
                 "program": lease.program_name,
                 "workers": lease.n_workers,
+                "live_workers": self._lease_workers(lease),
                 "transport": lease.transport,
                 "busy": lease.busy,
                 "jobs_served": lease.jobs_served,
@@ -1156,7 +1174,7 @@ class SpeculationDaemon:
                                    if self.started_at else 0.0),
                 "draining": self._stop.is_set(),
                 "worker_budget": self.config.worker_budget,
-                "workers_committed": sum(l.n_workers
+                "workers_committed": sum(self._lease_workers(l)
                                          for l in self._pools.values()),
                 "connections_accepted": self.connections_accepted,
                 "requests_served": self.requests_served,

@@ -148,6 +148,10 @@ class Watchdog:
             if incident is not None:
                 raised.append(incident)
         if raised:
+            # Order by the clock the state machine runs on: wall time
+            # can step (NTP, suspend) and would misorder incidents
+            # relative to the escalations that raised them.
+            raised.sort(key=lambda i: i["monotonic"])
             with self._lock:
                 self.incidents.extend(raised)
                 del self.incidents[:-_INCIDENT_HISTORY]
@@ -187,7 +191,7 @@ class Watchdog:
             watch.stage_since = now
             return {"kind": "worker-kill", "job_id": job.job_id,
                     "reason": watch.reason, "workers_killed": killed,
-                    "time": time.time()}
+                    "time": time.time(), "monotonic": now}
         if watch.stage == STAGE_KILLING:
             if now - watch.stage_since <= self.kill_grace_seconds:
                 return None
@@ -200,7 +204,8 @@ class Watchdog:
             watch.stage = STAGE_ABANDONED
             watch.stage_since = now
             return {"kind": "pool-abandon", "job_id": job.job_id,
-                    "reason": watch.reason, "time": time.time()}
+                    "reason": watch.reason, "time": time.time(),
+                    "monotonic": now}
         return None  # abandoned: nothing left to escalate
 
     def _condemn(self, watch, now, reason, detail):
@@ -208,8 +213,11 @@ class Watchdog:
         watch.stage = STAGE_CANCELLING
         watch.stage_since = now
         watch.job.cancel_event.set()
+        # Both clocks: wall time for humans reading the journal,
+        # monotonic for ordering/replay against the state machine
+        # (which runs entirely on ``now``).
         incident = {"kind": reason, "job_id": watch.job.job_id,
-                    "time": time.time()}
+                    "time": time.time(), "monotonic": now}
         incident.update(detail)
         return incident
 

@@ -1,9 +1,55 @@
-"""Shared fixtures: small compiled programs used across test modules."""
+"""Shared fixtures: small compiled programs used across test modules,
+plus per-test isolation (REPRO_* env, /dev/shm hygiene) and a seeded
+test-order shuffle for the CI isolation leg."""
+
+import os
+import random
 
 import pytest
 
 from repro.asm import assemble
 from repro.minic import compile_source
+from repro.runtime import shm
+
+#: The REPRO_* environment as it stood when the suite started. CI legs
+#: legitimately export knobs (REPRO_FAST_PATH, REPRO_TRANSPORT); tests
+#: are restored to *this* baseline, not to an empty environment.
+REPRO_ENV_BASELINE = {key: value for key, value in os.environ.items()
+                      if key.startswith("REPRO_")}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-shuffle", type=int, default=None, metavar="SEED",
+        help="run tests in a seeded random order (catches order-"
+             "dependent state leaks; the CI isolation leg sets this)")
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = config.getoption("--repro-shuffle")
+    if seed is not None:
+        random.Random(seed).shuffle(items)
+
+
+@pytest.fixture(autouse=True)
+def _repro_isolation():
+    """Per-test isolation: restore the REPRO_* env to the session
+    baseline and fail any test that leaks a /dev/shm segment.
+
+    Env restoration is silent (it *is* the isolation — a polluting test
+    still fails its own assertions if it relied on the leak); segment
+    leaks fail loudly because they are resource bugs, not state bugs,
+    and the sweep here keeps one bad test from failing every later one.
+    """
+    yield
+    for key in [k for k in os.environ if k.startswith("REPRO_")]:
+        if key not in REPRO_ENV_BASELINE:
+            del os.environ[key]
+    os.environ.update(REPRO_ENV_BASELINE)
+    leaked = shm.live_segment_names()
+    if leaked:
+        shm.sweep_created_segments()
+        pytest.fail("test leaked /dev/shm segments: %s" % ", ".join(leaked))
 
 
 @pytest.fixture(scope="session")

@@ -201,12 +201,18 @@ class TestResumeDifferential:
         workload = build_collatz(count=300)
         expected = sequential_state(workload.program)
         cp = ck.Checkpointer(tmp_path, every_instructions=20_000,
-                             program=workload.program.name)
+                             keep=None, program=workload.program.name)
         first = RealParallelEngine(
             workload.program, config=workload.config,
             runtime_config=DETERMINISTIC, checkpointer=cp).run()
         assert first.runtime.entries_shipped > 0
-        snapshot = ck.load_latest(tmp_path)
+        # Resume from the *earliest* checkpoint: where the newest one
+        # lands depends on load (it can fall within one superstep of
+        # the end, leaving no tail to serve hits from), but the first
+        # always lands one cadence in, leaving most of the run ahead.
+        paths = ck.checkpoint_paths(tmp_path)
+        assert paths
+        snapshot = ck.read_checkpoint(paths[0])
         restored = snapshot.load_cache()
         assert restored is not None and len(restored) > 0
         resumed = RealParallelEngine(

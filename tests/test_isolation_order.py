@@ -1,0 +1,71 @@
+"""Order-dependence regression: pollution must not cross tests.
+
+PR 8 made tier-1 green for the *full* suite by fixing the audit flake
+at its source (taints are now injected at splice time, not at result
+arrival — see ``repro.runtime.engine``) and by adding the autouse
+isolation fixture in ``conftest.py``. This file keeps both honest:
+
+* an in-suite polluter/checker pair proves the fixture restores the
+  ``REPRO_*`` environment after a test that "forgets" to clean up;
+* a subprocess regression runs the once-flaky CLI audit tests directly
+  after the polluter, in both orders, and they must pass either way.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+#: The env knobs the runtime actually reads — the highest-blast-radius
+#: pollution a careless test could leave behind (a leaked fault plan
+#: injects taints into every later real-backend run).
+_POLLUTION = {
+    "REPRO_FAULT_PLAN": "seed=99,taint=5",
+    "REPRO_VERIFY": "1.0",
+    "REPRO_FAST_PATH": "0",
+}
+
+
+def test_pollutes_runtime_env():
+    """Deliberate polluter: set runtime env knobs and never clean up.
+    The autouse isolation fixture must contain the spill before the
+    next test starts."""
+    for key, value in _POLLUTION.items():
+        os.environ[key] = value
+
+
+def test_runtime_env_matches_baseline():
+    """Runs after the polluter in definition order (trivially green
+    under ``--repro-shuffle`` if it happens to run first)."""
+    import conftest
+    for key in _POLLUTION:
+        assert os.environ.get(key) == conftest.REPRO_ENV_BASELINE.get(key)
+
+
+def _run_pytest(node_ids):
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(root, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider"]
+        + node_ids,
+        cwd=root, env=env, capture_output=True, text=True, timeout=540)
+
+
+@pytest.mark.parametrize("order", ["polluter-first", "audit-first"])
+def test_cli_audit_survives_env_pollution(order):
+    """The exact tests that used to fail order-dependently, run in a
+    fresh interpreter right next to the polluter — both orders must
+    exit 0."""
+    polluter = ("tests/test_isolation_order.py::"
+                "test_pollutes_runtime_env")
+    audits = [
+        "tests/test_cli.py::test_audit_command_catches_tainted_entries",
+        "tests/test_cli.py::test_audit_command_json",
+    ]
+    node_ids = ([polluter] + audits if order == "polluter-first"
+                else audits + [polluter])
+    proc = _run_pytest(node_ids)
+    assert proc.returncode == 0, proc.stdout + "\n" + proc.stderr
