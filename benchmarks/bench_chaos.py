@@ -6,7 +6,12 @@ clean, once under a seeded :class:`~repro.runtime.faults.FaultPlan`
 — and measures what graceful degradation costs. Both legs must end
 byte-identical to a plain sequential run; the interesting numbers are
 the wall-clock ratio and the supervision counters (respawns, breaker
-trips, rejected frames). Metrics land in ``results/BENCH_chaos.json``.
+trips, rejected frames). A third leg measures *resource pressure*
+(DESIGN.md §15): a deliberately tiny shm ring spills every state blob
+to the inline pipe fallback while a seeded schedule injects forced
+``shm_full`` events and a contained worker OOM — degraded-mode
+overhead, same byte-identical gate. Metrics land in
+``results/BENCH_chaos.json``.
 """
 
 import time
@@ -84,9 +89,70 @@ def _measure(tag, workload, scale):
         % dict(plan.pending)
 
 
+def _measure_resource_pressure(tag, workload, scale):
+    """The resource-pressure leg: a tiny shm ring (every blob spills
+    to the inline pipe fallback) plus a seeded resource fault schedule
+    (forced shm_full events and a contained worker OOM). Measures what
+    the degradation ladder costs relative to the clean run — the
+    answer must stay byte-identical either way, so wall-clock and the
+    pressure counters are the whole story."""
+    recognized = Recognizer(workload.config).find(workload.program)
+    seq_wall, expected = _sequential(workload.program)
+    clean = _run(workload, recognized, scale)
+    assert clean.final_state == expected, "%s clean run diverged" % tag
+    plan = FaultPlan(seed=42, shm_fulls=3, worker_ooms=1,
+                     start_after=2, spacing=1)
+    runtime_config = RuntimeConfig(n_workers=3, superstep_scale=scale,
+                                   transport="shm",
+                                   shm_ring_bytes=4096,  # everything spills
+                                   fault_plan=plan)
+    start = time.perf_counter()
+    pressured = RealParallelEngine(
+        workload.program, config=workload.config,
+        runtime_config=runtime_config, recognized=recognized).run()
+    wall = time.perf_counter() - start
+    assert pressured.final_state == expected, \
+        "%s pressured run diverged" % tag
+    runtime = pressured.runtime
+    overhead = (wall / clean.wall_seconds if clean.wall_seconds else 0.0)
+    _RECORDED.update({
+        "%s_wall_pressure" % tag: wall,
+        "%s_pressure_overhead" % tag: overhead,
+        "%s_pressure_shm_fallbacks" % tag: runtime.shm_fallbacks,
+        "%s_pressure_fallback_bytes" % tag: runtime.shm_fallback_bytes,
+        "%s_pressure_ring_full" % tag: runtime.ring_full_backpressure,
+        "%s_pressure_tasks_oom" % tag: runtime.tasks_oom,
+        "%s_pressure_tasks_failed" % tag: runtime.tasks_failed,
+    })
+    publish("chaos_%s_pressure" % tag, "\n".join([
+        "%s pressure: clean %.3fs, pressured %.3fs (%.2fx overhead)"
+        % (tag, clean.wall_seconds, wall, overhead),
+        "%s pressure: injected %s; %d fallbacks (%d bytes inline), "
+        "%d ring-full, %d contained OOMs"
+        % (tag, dict(plan.injected), runtime.shm_fallbacks,
+           runtime.shm_fallback_bytes, runtime.ring_full_backpressure,
+           runtime.tasks_oom),
+    ]))
+    assert plan.exhausted, "resource schedule did not fully fire: %s" \
+        % dict(plan.pending)
+    # The tiny ring must really have forced the fallback path, and the
+    # transport ledgers must still reconcile under it (a worker whose
+    # ring failed to allocate ships outside the shm ledger entirely).
+    assert runtime.shm_fallbacks >= 3
+    if runtime.shm_alloc_failures == 0:
+        assert runtime.state_bytes_shipped == \
+            runtime.shm_bytes_written + runtime.shm_fallback_bytes
+
+
 def test_collatz_chaos():
     _measure("collatz", build_collatz(count=SIZES["collatz_count"]),
              SIZES["collatz_scale"])
+
+
+def test_collatz_resource_pressure():
+    _measure_resource_pressure(
+        "collatz", build_collatz(count=SIZES["collatz_count"]),
+        SIZES["collatz_scale"])
 
 
 def test_ising_chaos():

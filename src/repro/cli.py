@@ -175,6 +175,7 @@ def _run_real_backend(program, args):
         max_instructions=args.max_instructions,
         transport=getattr(args, "transport", None),
         fault_plan=getattr(args, "fault_plan", None),
+        worker_rlimit_as_bytes=getattr(args, "worker_rlimit_as", None),
         autoscale=getattr(args, "autoscale", "off"))
     checkpointer, resume_from = _checkpoint_setup(args, program)
     engine = RealParallelEngine(program, config=_engine_config(args),
@@ -197,6 +198,7 @@ def _run_real_backend(program, args):
         "runtime": runtime.as_dict(),
         "cache": result.cache.stats_dict(),
         "audit": result.audit,
+        "resources": result.resources,
     }
     if not args.json:
         print("%s after %d instructions in %.3fs wall "
@@ -513,6 +515,19 @@ def _chaos_serve(args):
                      conn_drops=args.conn_drops,
                      journal_truncs=args.journal_truncs,
                      start_after=1, spacing=args.spacing)
+    # Resource faults run daemon-side: the daemon consumes its own
+    # seeded plan (REPRO_SERVE_FAULT_PLAN semantics) at its journal/
+    # cache/admission seams, so ENOSPC and fd pressure hit the real
+    # degradation ladders, not a client-side simulation. A daemon
+    # restarted by a daemon_kill re-arms the same spec — deliberate:
+    # every incarnation faces the same adversary.
+    serve_plan_spec = None
+    if args.disk_fulls or args.fd_exhausts:
+        # start=1: the initial submit lands clean, then every admission
+        # event (the token resubmits below) consumes one fault.
+        serve_plan_spec = ("seed=%d,disk_full=%d,fd_exhaust=%d,"
+                          "start=1,spacing=1"
+                          % (args.seed, args.disk_fulls, args.fd_exhausts))
     sequential = program.make_machine()
     sequential.run(max_instructions=args.max_instructions)
     expected = bytes(sequential.state.buf)
@@ -533,13 +548,16 @@ def _chaos_serve(args):
             os.unlink(socket_path)  # stale after a SIGKILL; a fresh
         except OSError:             # bind is the readiness signal
             pass
+        cmd = [sys.executable, "-m", "repro", "serve",
+               "--socket", socket_path, "--cache-dir", cache_dir,
+               "--worker-budget", str(args.workers),
+               "--max-instructions", str(args.max_instructions),
+               "--task-timeout", str(args.task_timeout)]
+        if serve_plan_spec:
+            cmd += ["--fault-plan", serve_plan_spec]
         proc = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve",
-             "--socket", socket_path, "--cache-dir", cache_dir,
-             "--worker-budget", str(args.workers),
-             "--max-instructions", str(args.max_instructions),
-             "--task-timeout", str(args.task_timeout)],
-            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT)
+            cmd, env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.STDOUT)
         deadline = time.monotonic() + 30.0
         while time.monotonic() < deadline:
             if os.path.exists(socket_path):
@@ -591,6 +609,12 @@ def _chaos_serve(args):
                             max(0, size - plan.truncate_tail_bytes(size)))
                 proc = start_daemon()
                 restarts += 1
+            if serve_plan_spec:
+                # Each idempotent resubmit (dedups onto the original
+                # job) is one admission event at the daemon — the pulse
+                # that drains its resource-fault queue. A shed round
+                # answers "overloaded"; the client's backoff absorbs it.
+                client.submit(program, token=token, **options)
             try:
                 job = client.poll(token=token)
             except ServeClientError as exc:
@@ -609,6 +633,24 @@ def _chaos_serve(args):
                 "job %s under serve chaos: %s"
                 % (token, job["state"] if job else "never polled"))
         final = client.final_state(token=token)
+        # Recovery check: after the storm, degraded durability modes
+        # must lift on their own — the daemon's self-check retries
+        # suspended write-through on its own cadence, so give it a few
+        # ticks before calling the recovery failed.
+        recovery_deadline = time.monotonic() + 15.0
+        while True:
+            daemon_stats = client.stats()
+            governor = daemon_stats.get("governor") or {}
+            journal_stats = daemon_stats.get("journal") or {}
+            cache_stats = daemon_stats.get("cache") or {}
+            recovered = not (journal_stats.get("journal_suspended")
+                             or cache_stats.get("write_through_suspended"))
+            if recovered or time.monotonic() >= recovery_deadline:
+                break
+            time.sleep(0.25)
+        serve_faults_ok = (not serve_plan_spec
+                           or (daemon_stats.get("serve_faults_injected")
+                               or 0) >= 1)
         client.close()
     finally:
         if proc.poll() is None:
@@ -625,8 +667,22 @@ def _chaos_serve(args):
         "program": program.name,
         "seed": args.seed,
         "identical": identical,
+        "recovered": recovered,
         "restarts": restarts,
         "plan": plan.as_dict(),
+        "serve_fault_plan": serve_plan_spec,
+        "serve_faults_injected": daemon_stats.get("serve_faults_injected"),
+        "jobs_shed": (daemon_stats.get("jobs") or {}).get("shed"),
+        "governor": governor,
+        "journal_pressure": {
+            key: journal_stats.get(key)
+            for key in ("enospc_events", "records_dropped",
+                        "results_dropped", "results_pruned_for_space",
+                        "journal_suspended", "journal_resumes")},
+        "cache_pressure": {
+            key: cache_stats.get(key)
+            for key in ("enospc_events", "shards_pruned",
+                        "write_through_suspended", "write_through_resumes")},
         "job": job,
     }
     if args.json:
@@ -635,9 +691,20 @@ def _chaos_serve(args):
         print("chaos --serve %s seed=%d: injected %s across %d restarts"
               % (program.name, args.seed,
                  dict(plan.injected) or "nothing", restarts))
+        if serve_plan_spec:
+            print("  daemon-side plan %r: %s faults consumed, "
+                  "%s submits shed, journal enospc=%s cache enospc=%s"
+                  % (serve_plan_spec,
+                     daemon_stats.get("serve_faults_injected"),
+                     (daemon_stats.get("jobs") or {}).get("shed"),
+                     journal_stats.get("enospc_events"),
+                     cache_stats.get("enospc_events")))
+            print("  degraded durability %s"
+                  % ("RECOVERED" if recovered else "STILL SUSPENDED"))
         print("final state %s sequential reference"
               % ("IDENTICAL to" if identical else "DIVERGES from"))
-    return 0 if identical and plan.exhausted else 1
+    return 0 if (identical and plan.exhausted and recovered
+                 and serve_faults_ok) else 1
 
 
 def cmd_chaos(args):
@@ -653,6 +720,8 @@ def cmd_chaos(args):
     plan = FaultPlan(seed=args.seed, kills=args.kills,
                      timeouts=args.timeouts, corruptions=args.corrupts,
                      slows=args.slows, drops=args.drops,
+                     shm_fulls=args.shm_fulls,
+                     worker_ooms=args.worker_ooms,
                      slow_seconds=args.slow_ms / 1000.0,
                      spacing=args.spacing)
     sequential = program.make_machine()
@@ -790,6 +859,11 @@ def _serve_config(args):
         job_deadline_seconds=getattr(args, "job_deadline", None),
         no_progress_seconds=getattr(args, "no_progress_seconds", 20.0),
         kill_grace_seconds=getattr(args, "kill_grace_seconds", 5.0),
+        min_shm_headroom_bytes=getattr(args, "shm_headroom_bytes", None),
+        min_disk_free_bytes=getattr(args, "min_disk_free_bytes", None),
+        min_fd_headroom=getattr(args, "min_fd_headroom", None),
+        max_queued_jobs=getattr(args, "max_queued_jobs", None),
+        fault_plan=getattr(args, "fault_plan", None),
         autoscale=getattr(args, "autoscale", "off"))
 
 
@@ -1080,6 +1154,12 @@ def build_parser():
     p.add_argument("--fault-plan", dest="fault_plan", metavar="SPEC",
                    help="inject faults, e.g. 'seed=42,kill=2,corrupt=1' "
                         "(real backend)")
+    p.add_argument("--worker-rlimit-as", dest="worker_rlimit_as", type=int,
+                   help="cap each worker's address space (RLIMIT_AS, "
+                        "bytes); a runaway speculation fails as a "
+                        "contained task fault instead of taking the "
+                        "host (default REPRO_WORKER_RLIMIT_AS; 0 = "
+                        "uncapped)")
     add_transport_flag(p)
     add_verify_flags(p)
     add_checkpoint_flags(p)
@@ -1146,6 +1226,19 @@ def build_parser():
                    help="delay per slow fault, milliseconds")
     p.add_argument("--spacing", type=int, default=1,
                    help="inject at most one fault every N pool events")
+    p.add_argument("--shm-fulls", dest="shm_fulls", type=int, default=0,
+                   help="dispatches forced off the shm ring onto the "
+                        "inline pipe fallback (resource tier)")
+    p.add_argument("--worker-ooms", dest="worker_ooms", type=int, default=0,
+                   help="workers whose memory limit is tightened "
+                        "mid-task so the speculation OOMs as a "
+                        "contained failure (resource tier)")
+    p.add_argument("--disk-fulls", dest="disk_fulls", type=int, default=0,
+                   help="with --serve: journal/cache writes hit an "
+                        "injected ENOSPC this many times")
+    p.add_argument("--fd-exhausts", dest="fd_exhausts", type=int, default=0,
+                   help="with --serve: admissions shed for fd pressure "
+                        "this many times (retryable 'overloaded')")
     p.add_argument("--workers", type=int, default=3)
     p.add_argument("--task-timeout", dest="task_timeout", type=float,
                    default=30.0)
@@ -1258,6 +1351,31 @@ def build_parser():
     p.add_argument("--kill-grace-seconds", dest="kill_grace_seconds",
                    type=float, default=5.0,
                    help="grace between watchdog escalation stages")
+    p.add_argument("--shm-headroom-bytes", dest="shm_headroom_bytes",
+                   type=int, default=None,
+                   help="shm free-space floor below which the daemon "
+                        "runs degraded-sequential (default "
+                        "REPRO_SHM_HEADROOM_BYTES or 64 MiB; 0 "
+                        "disables)")
+    p.add_argument("--min-disk-free-bytes", dest="min_disk_free_bytes",
+                   type=int, default=None,
+                   help="free-disk floor under the journal/cache dir "
+                        "below which submits are shed as 'overloaded' "
+                        "(default REPRO_DISK_FLOOR_BYTES or 32 MiB; 0 "
+                        "disables)")
+    p.add_argument("--fd-headroom", dest="min_fd_headroom", type=int,
+                   default=None,
+                   help="open-fd headroom below which submits are shed "
+                        "(default REPRO_FD_HEADROOM or 64; 0 disables)")
+    p.add_argument("--max-queued-jobs", dest="max_queued_jobs", type=int,
+                   default=None,
+                   help="global queued-job bound before shedding "
+                        "(default REPRO_MAX_QUEUED_JOBS or 64; 0 "
+                        "disables)")
+    p.add_argument("--fault-plan", dest="fault_plan", metavar="SPEC",
+                   help="serve-tier chaos plan the daemon consumes at "
+                        "its own seams, e.g. 'seed=7,disk_full=2,"
+                        "fd_exhaust=1' (default REPRO_SERVE_FAULT_PLAN)")
     add_transport_flag(p)
     add_autoscale_flag(p)
     p.set_defaults(func=cmd_serve)

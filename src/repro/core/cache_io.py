@@ -23,6 +23,7 @@ with :class:`~repro.errors.EngineError`, because nothing after it can
 be trusted.
 """
 
+import os
 import struct
 import zlib
 
@@ -172,6 +173,33 @@ def deserialize_cache(data, capacity_bytes=None):
     if pos != len(data):
         raise EngineError("trailing bytes in cache blob")
     return cache
+
+
+def write_atomic(path, blob, fsync=False):
+    """Write ``blob`` to ``path`` via temp file + rename.
+
+    A reader never sees a torn file: it finds either the old content or
+    the new, because the rename is the only visible step. On *any*
+    failure — including ``ENOSPC`` partway through the write — the temp
+    file is removed before the exception propagates, so a disk-full
+    event cannot leave ``.tmp`` litter for a restart (or a directory
+    scan) to trip over, and the partial bytes stop holding space on an
+    already-starved filesystem.
+    """
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def save_cache(cache, path):

@@ -27,11 +27,19 @@ into live entries. Per-entry CRC failures inside an intact blob are
 quarantined entry-by-entry by ``cache_io`` itself and surface in
 ``entries_quarantined``.
 
+Disk exhaustion degrades durability, never correctness: a flush that
+hits ``ENOSPC`` removes its temp file, prunes the oldest shard files to
+make room, and retries; if the disk is still full, the store **suspends
+write-through** — shards stay dirty in memory, served results remain
+exact, and the next flush that succeeds (space came back) clears the
+flag and resumes persistence. See :meth:`flush`.
+
 Thread safety: every public method takes the store lock; shards handed
 out by :meth:`snapshot` are immutable entry lists, so engine threads
 never touch a live shard concurrently.
 """
 
+import errno
 import os
 import re
 import threading
@@ -39,6 +47,14 @@ import threading
 from repro.core import cache_io
 from repro.core.trajectory_cache import TrajectoryCache
 from repro.errors import EngineError
+
+
+# ENOSPC classification lives in repro.runtime.resources (the unified
+# governor); imported lazily so this core module never drags the whole
+# runtime package in at import time.
+def _is_enospc(exc):
+    from repro.runtime.resources import is_enospc
+    return is_enospc(exc)
 
 #: Shard filename suffix (namespace is a hex digest).
 SHARD_SUFFIX = ".tcache"
@@ -109,6 +125,12 @@ class SharedCacheStore:
         self.entries_merged = 0
         self.entries_deduped = 0
         self.flushes = 0
+        # -- disk-pressure state (see flush) ---------------------------
+        self.enospc_events = 0
+        self.shards_pruned = 0
+        self.write_through_suspended = False
+        self.write_through_resumes = 0
+        self._pending_enospc = 0  # injected faults (tests / repro chaos)
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
             self._load_all()
@@ -205,6 +227,98 @@ class SharedCacheStore:
 
     # -- persistence ---------------------------------------------------------
 
+    def inject_enospc(self, n=1):
+        """Arm ``n`` deterministic disk-full faults: the next ``n``
+        shard writes raise ``ENOSPC`` before touching the filesystem.
+        The hook behind the ``disk_full`` chaos fault kind and the
+        satellite ENOSPC tests — it exercises exactly the code path a
+        real full disk would, without needing one."""
+        with self._lock:
+            self._pending_enospc += int(n)
+
+    def _write_shard(self, path, blob):
+        with self._lock:
+            if self._pending_enospc > 0:
+                self._pending_enospc -= 1
+                raise OSError(errno.ENOSPC, "injected disk-full", path)
+        cache_io.write_atomic(path, blob)
+
+    def _prune_for_space(self, exclude, needed):
+        """Oldest-first removal of shard artifacts to free ``needed``
+        bytes: quarantined blobs go first (dead evidence), then the
+        stalest ``.tcache`` files by mtime, never ``exclude`` (the file
+        we are trying to write). A pruned namespace whose shard is still
+        in memory is re-marked dirty so its durability recovers once
+        space returns. Returns the number of files removed."""
+        candidates = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
+            if not (name.endswith(SHARD_SUFFIX)
+                    or name.endswith(SHARD_SUFFIX + QUARANTINE_SUFFIX)):
+                continue
+            path = os.path.join(self.directory, name)
+            if path == exclude:
+                continue
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            quarantined = name.endswith(QUARANTINE_SUFFIX)
+            candidates.append((not quarantined, stat.st_mtime, path,
+                               stat.st_size, quarantined))
+        candidates.sort()
+        pruned = freed = 0
+        for __, __, path, size, quarantined in candidates:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            pruned += 1
+            freed += size
+            if not quarantined:
+                namespace = os.path.basename(path)[:-len(SHARD_SUFFIX)]
+                if namespace in self._shards:
+                    self._dirty.add(namespace)
+            if freed >= needed:
+                break
+        self.shards_pruned += pruned
+        return pruned
+
+    def _flush_one(self, target):
+        """Write one shard, degrading under disk pressure.
+
+        The ladder: write atomically; on ``ENOSPC`` prune the oldest
+        shard files and retry once; if the disk is *still* full, leave
+        the shard dirty and suspend write-through. Any successful write
+        while suspended lifts the suspension — recovery needs no
+        operator action beyond freeing space. Returns True if the shard
+        reached disk."""
+        shard = self._shards.get(target)
+        if shard is None:
+            return False
+        path = self._shard_path(target)
+        blob = cache_io.serialize_cache(shard)
+        for attempt in (0, 1):
+            try:
+                self._write_shard(path, blob)
+            except OSError as exc:
+                if not _is_enospc(exc):
+                    raise
+                self.enospc_events += 1
+                if attempt == 0 and self._prune_for_space(path, len(blob)):
+                    continue  # freed something: one retry
+                self.write_through_suspended = True
+                return False
+            self._dirty.discard(target)
+            if self.write_through_suspended:
+                self.write_through_suspended = False
+                self.write_through_resumes += 1
+            return True
+        return False
+
     def flush(self, namespace=None, force=False):
         """Persist dirty shards (or one, or all with ``force``).
 
@@ -212,7 +326,13 @@ class SharedCacheStore:
         daemon killed mid-flush leaves either the old blob or the new
         one, never a torn file. No-op without a directory. Returns the
         number of shard files written.
-        """
+
+        A shard write that fails with ``ENOSPC`` degrades instead of
+        raising (see :meth:`_flush_one`): prune, retry, then suspend
+        write-through with the shard kept dirty in memory. Results stay
+        byte-exact throughout — only durability is deferred, and it
+        catches up automatically on the first flush after space
+        returns."""
         if self.directory is None:
             return 0
         written = 0
@@ -224,17 +344,13 @@ class SharedCacheStore:
                 targets = sorted(self._shards) if force \
                     else sorted(self._dirty)
             for target in targets:
-                shard = self._shards.get(target)
-                if shard is None:
-                    continue
-                path = self._shard_path(target)
-                tmp = path + ".tmp"
-                blob = cache_io.serialize_cache(shard)
-                with open(tmp, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp, path)
-                self._dirty.discard(target)
-                written += 1
+                if self._flush_one(target):
+                    written += 1
+                elif self.write_through_suspended:
+                    # The disk is full even after pruning; the remaining
+                    # targets would fail identically. Keep them dirty
+                    # and let the next flush try again.
+                    break
             if written:
                 self.flushes += 1
         return written
@@ -271,6 +387,10 @@ class SharedCacheStore:
                 "entries_merged": self.entries_merged,
                 "entries_deduped": self.entries_deduped,
                 "flushes": self.flushes,
+                "enospc_events": self.enospc_events,
+                "shards_pruned": self.shards_pruned,
+                "write_through_suspended": self.write_through_suspended,
+                "write_through_resumes": self.write_through_resumes,
             }
 
     def __repr__(self):

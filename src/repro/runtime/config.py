@@ -102,15 +102,23 @@ class RuntimeConfig:
                  # fallback. None follows REPRO_TRANSPORT, defaulting
                  # to shm where the platform supports it.
                  transport=None,
-                 # Per-direction ring capacity per worker. Oversized
-                 # blobs (bigger than the whole ring) fall back to
-                 # inline pipe frames; a merely *full* ring is dispatch
-                 # backpressure.
+                 # Per-direction ring capacity per worker. A blob the
+                 # ring cannot take right now — oversized or merely
+                 # full — falls back to an inline pipe frame; shm
+                 # pressure degrades throughput, never refuses a
+                 # dispatch.
                  shm_ring_bytes=1 << 20,
                  # Deterministic fault injection: a FaultPlan instance, a
                  # spec string ("seed=42,kill=2,corrupt=1"), or None.
                  # When None, REPRO_FAULT_PLAN supplies a spec.
                  fault_plan=None,
+                 # Per-worker address-space cap (RLIMIT_AS, bytes). A
+                 # runaway speculation then hits a contained MemoryError
+                 # (reported as a failed task) or at worst dies as an
+                 # ordinary worker crash, instead of taking the host.
+                 # None follows REPRO_WORKER_RLIMIT_AS (unset = no cap);
+                 # 0 explicitly disables the cap.
+                 worker_rlimit_as_bytes=None,
                  # Elastic autoscaling (runtime/autoscaler.py): "off"
                  # keeps the fixed-width pool; "react"/"hist"/"reg"
                  # sample the policy at every superstep boundary and
@@ -146,6 +154,11 @@ class RuntimeConfig:
                              % ("/".join(TRANSPORTS), self.transport))
         self.shm_ring_bytes = shm_ring_bytes
         self.fault_plan = fault_plan
+        if worker_rlimit_as_bytes is None:
+            from repro.runtime.resources import default_worker_rlimit_as
+            worker_rlimit_as_bytes = default_worker_rlimit_as()
+        # Normalized to bytes-or-None; 0 means "explicitly uncapped".
+        self.worker_rlimit_as_bytes = worker_rlimit_as_bytes or None
         if autoscale not in ("off", "react", "hist", "reg"):
             raise ValueError("autoscale must be off/react/hist/reg, not %r"
                              % (autoscale,))

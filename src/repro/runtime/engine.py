@@ -57,6 +57,7 @@ from repro.machine.layout import STOP_BREAKPOINT
 from repro.runtime.autoscaler import AutoscaleSignals, resolve_autoscaler
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.pool import TASK_FAILED, TASK_OK, WorkerPool
+from repro.runtime import resources
 from repro.runtime.stats import RuntimeStats
 from repro.verify.auditor import SpliceAuditor
 from repro.verify.config import resolve_verify
@@ -521,4 +522,20 @@ class RealParallelEngine:
             stats.instructions_executed + stats.instructions_fast_forwarded,
             stats, runtime, cache, bytes(main.state.buf), main.halted, main)
         result.audit = auditor.report() if auditor is not None else None
+        # End-of-run resource picture: where the transport's shm really
+        # lives, what headroom is left, and which degradation paths this
+        # run actually took (all zero on a healthy host).
+        result.resources = {
+            "shm_backing_dir": resources.shm_backing_dir(),
+            "shm_headroom_bytes": resources.shm_headroom_bytes(),
+            "worker_rlimit_as_bytes":
+                self.runtime_config.worker_rlimit_as_bytes,
+            "pressure": {
+                "shm_fallbacks": runtime.shm_fallbacks,
+                "shm_fallback_bytes": runtime.shm_fallback_bytes,
+                "shm_alloc_failures": runtime.shm_alloc_failures,
+                "ring_full_events": runtime.ring_full_backpressure,
+                "tasks_oom": runtime.tasks_oom,
+            },
+        }
         return result

@@ -21,7 +21,13 @@ failures injected at the seams the pool already has to survive:
   is spliced into the main state (wrong end byte, dropped dependency,
   inflated length). Unlike ``corrupt`` this damage is *CRC-valid*: no
   transport check can see it, only the verify subsystem's shadow audit
-  (`repro audit`, ``--verify-rate``) catches it.
+  (`repro audit`, ``--verify-rate``) catches it;
+* resource tier (:data:`RESOURCE_KINDS`) — deterministic exhaustion:
+  ``shm_full`` (ring pressure → inline pipe fallback), ``worker_oom``
+  (tightened ``RLIMIT_AS`` → contained ``MemoryError``), ``disk_full``
+  (injected ``ENOSPC`` into cache/journal writes → prune/suspend), and
+  ``fd_exhaust`` (admission probe reports no fd headroom → the daemon
+  sheds with the retryable ``overloaded`` code).
 
 The plan is deterministic given its seed: the *decision sequence* (which
 dispatch/receive event gets which fault) is fixed up front, so a chaos
@@ -52,7 +58,17 @@ ENTRY_KINDS = ("taint",)
 #: SIGKILL the daemon mid-job, drop the client connection mid-poll,
 #: truncate the job journal's tail before a restart.
 SERVE_KINDS = ("daemon_kill", "conn_drop", "journal_trunc")
-ALL_KINDS = DISPATCH_KINDS + RECEIVE_KINDS + ENTRY_KINDS + SERVE_KINDS
+#: Resource-exhaustion faults. ``shm_full`` forces a task blob past the
+#: ring onto the pipe (inline fallback); ``worker_oom`` tightens a live
+#: worker's ``RLIMIT_AS`` so its speculation hits a contained
+#: ``MemoryError``; ``disk_full`` injects ``ENOSPC`` into the next
+#: cache/journal write; ``fd_exhaust`` makes the daemon's admission
+#: probe report zero fd headroom (shed as ``overloaded``). The first
+#: two are spent at the pool's dispatch seam, the last two at the
+#: daemon's write/admission seams.
+RESOURCE_KINDS = ("shm_full", "disk_full", "worker_oom", "fd_exhaust")
+ALL_KINDS = (DISPATCH_KINDS + RECEIVE_KINDS + ENTRY_KINDS + SERVE_KINDS
+             + RESOURCE_KINDS)
 
 
 class FaultPlanError(ReproError):
@@ -73,10 +89,12 @@ class FaultPlan:
 
     def __init__(self, seed=0, kills=0, timeouts=0, corruptions=0,
                  slows=0, drops=0, taints=0, daemon_kills=0, conn_drops=0,
-                 journal_truncs=0, slow_seconds=0.05,
+                 journal_truncs=0, shm_fulls=0, disk_fulls=0,
+                 worker_ooms=0, fd_exhausts=0, slow_seconds=0.05,
                  start_after=2, spacing=2):
         if min(kills, timeouts, corruptions, slows, drops, taints,
-               daemon_kills, conn_drops, journal_truncs) < 0:
+               daemon_kills, conn_drops, journal_truncs, shm_fulls,
+               disk_fulls, worker_ooms, fd_exhausts) < 0:
             raise FaultPlanError("fault quotas must be >= 0")
         if spacing < 1:
             raise FaultPlanError("spacing must be >= 1")
@@ -90,6 +108,10 @@ class FaultPlan:
         self.daemon_kills = daemon_kills
         self.conn_drops = conn_drops
         self.journal_truncs = journal_truncs
+        self.shm_fulls = shm_fulls
+        self.disk_fulls = disk_fulls
+        self.worker_ooms = worker_ooms
+        self.fd_exhausts = fd_exhausts
         self.slow_seconds = slow_seconds
         self.start_after = start_after
         self.spacing = spacing
@@ -99,18 +121,23 @@ class FaultPlan:
                    + ["drop"] * drops)
         serve = (["daemon_kill"] * daemon_kills + ["conn_drop"] * conn_drops
                  + ["journal_trunc"] * journal_truncs)
+        res = (["shm_full"] * shm_fulls + ["disk_full"] * disk_fulls
+               + ["worker_oom"] * worker_ooms + ["fd_exhaust"] * fd_exhausts)
         rng.shuffle(dispatch)
         rng.shuffle(receive)
         rng.shuffle(serve)
+        rng.shuffle(res)
         self._dispatch_queue = deque(dispatch)
         self._receive_queue = deque(receive)
         self._entry_queue = deque(["taint"] * taints)
         self._serve_queue = deque(serve)
+        self._resource_queue = deque(res)
         self._rng = rng  # drives corruption shapes, deterministically
         self._dispatch_events = 0
         self._receive_events = 0
         self._entry_events = 0
         self._serve_events = 0
+        self._resource_events = 0
         self.injected = Counter()
 
     # -- scheduling ----------------------------------------------------------
@@ -174,6 +201,21 @@ class FaultPlan:
         self._serve_events += 1
         return kind
 
+    def next_resource_fault(self, allowed=None):
+        """Fault to apply to this resource checkpoint (or ``None``).
+
+        An event is one observable budget decision: a pool dispatch
+        (``shm_full``/``worker_oom`` eligible), a daemon durability
+        write (``disk_full``), or a daemon admission probe
+        (``fd_exhaust``). Each checkpoint passes its own ``allowed``
+        set; an ineligible head stays queued for a checkpoint that can
+        spend it, the same contract the other streams keep.
+        """
+        kind = self._next(self._resource_queue, self._resource_events,
+                          allowed)
+        self._resource_events += 1
+        return kind
+
     def truncate_tail_bytes(self, size):
         """How many bytes a ``journal_trunc`` fault shears off a file
         of ``size`` bytes: at least 1, at most the whole file, chosen
@@ -235,7 +277,8 @@ class FaultPlan:
     def exhausted(self):
         """Every scheduled fault has been injected."""
         return (not self._dispatch_queue and not self._receive_queue
-                and not self._entry_queue and not self._serve_queue)
+                and not self._entry_queue and not self._serve_queue
+                and not self._resource_queue)
 
     @property
     def pending(self):
@@ -243,7 +286,8 @@ class FaultPlan:
         return (Counter(self._dispatch_queue)
                 + Counter(self._receive_queue)
                 + Counter(self._entry_queue)
-                + Counter(self._serve_queue))
+                + Counter(self._serve_queue)
+                + Counter(self._resource_queue))
 
     def as_dict(self):
         return {
@@ -253,7 +297,11 @@ class FaultPlan:
                           "drop": self.drops, "taint": self.taints,
                           "daemon_kill": self.daemon_kills,
                           "conn_drop": self.conn_drops,
-                          "journal_trunc": self.journal_truncs},
+                          "journal_trunc": self.journal_truncs,
+                          "shm_full": self.shm_fulls,
+                          "disk_full": self.disk_fulls,
+                          "worker_oom": self.worker_ooms,
+                          "fd_exhaust": self.fd_exhausts},
             "injected": dict(self.injected),
             "pending": dict(self.pending),
         }
@@ -271,6 +319,10 @@ class FaultPlan:
         "daemon_kill": ("daemon_kills", int),
         "conn_drop": ("conn_drops", int),
         "journal_trunc": ("journal_truncs", int),
+        "shm_full": ("shm_fulls", int),
+        "disk_full": ("disk_fulls", int),
+        "worker_oom": ("worker_ooms", int),
+        "fd_exhaust": ("fd_exhausts", int),
         "slow_ms": ("slow_seconds", lambda v: int(v) / 1000.0),
         "start": ("start_after", int),
         "spacing": ("spacing", int),
@@ -304,10 +356,12 @@ class FaultPlan:
     def __repr__(self):
         return ("FaultPlan(seed=%d, kill=%d, timeout=%d, corrupt=%d, "
                 "slow=%d, drop=%d, taint=%d, daemon_kill=%d, conn_drop=%d, "
-                "journal_trunc=%d, injected=%s)"
+                "journal_trunc=%d, shm_full=%d, disk_full=%d, "
+                "worker_oom=%d, fd_exhaust=%d, injected=%s)"
                 % (self.seed, self.kills, self.timeouts, self.corruptions,
                    self.slows, self.drops, self.taints, self.daemon_kills,
-                   self.conn_drops, self.journal_truncs,
+                   self.conn_drops, self.journal_truncs, self.shm_fulls,
+                   self.disk_fulls, self.worker_ooms, self.fd_exhausts,
                    dict(self.injected)))
 
 

@@ -67,7 +67,12 @@ from repro.runtime import shm, wire
 from repro.runtime.config import RuntimeConfig, default_start_method
 from repro.runtime.stats import RuntimeStats
 from repro.runtime.supervisor import RESPAWN, Supervisor
-from repro.runtime.worker import worker_main
+from repro.runtime.worker import OOM_FAULT_PREFIX, worker_main
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None
 
 #: Task outcome statuses (pool-level view; the wire-level OK/FAULT/
 #: BUDGET/EMPTY collapse into OK vs FAILED here).
@@ -188,14 +193,27 @@ class WorkerPool:
     def _spawn(self, index):
         task_ring = result_ring = shm_names = None
         if self._use_shm:
-            task_ring = shm.create_ring(self.config.shm_ring_bytes)
-            result_ring = shm.create_ring(self.config.shm_ring_bytes)
-            shm_names = (task_ring.name, result_ring.name)
+            # Ring allocation failing (tmpfs exhausted, segment quota)
+            # must not fail the spawn: this worker degrades to pipe
+            # transport — correct, just slower — and the pressure is
+            # reported. A respawn retries rings, so the degradation
+            # heals itself once /dev/shm space returns.
+            try:
+                task_ring = shm.create_ring(self.config.shm_ring_bytes)
+                result_ring = shm.create_ring(self.config.shm_ring_bytes)
+                shm_names = (task_ring.name, result_ring.name)
+            except (shm.ShmError, OSError):
+                for ring in (task_ring, result_ring):
+                    if ring is not None:
+                        ring.unlink()
+                task_ring = result_ring = shm_names = None
+                self.stats.shm_alloc_failures += 1
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=worker_main,
             args=(child_conn, self._program_payload, self._fast_path,
-                  self.config.max_frame_bytes, shm_names, os.getpid()),
+                  self.config.max_frame_bytes, shm_names, os.getpid(),
+                  self.config.worker_rlimit_as_bytes),
             name="repro-spec-%d" % index, daemon=True)
         proc.start()
         child_conn.close()
@@ -439,7 +457,15 @@ class WorkerPool:
         return sum(max(0, depth - len(w.inflight)) for w in self._live())
 
     def inflight_count(self):
-        return sum(len(w.inflight) for w in self._live())
+        """Dispatched tasks whose outcome the caller has not seen yet.
+
+        Counts deferred outcomes (produced outside :meth:`poll` — a
+        park absorbing in-flight tasks, a send failure at submit time)
+        as still in flight: a drain loop keyed on this must not stop
+        while undelivered outcomes sit in the queue, and ``quiesce``
+        must not let them leak into the next job's poll."""
+        return sum(len(w.inflight) for w in self._live()) \
+            + len(self._deferred)
 
     def worker_pids(self):
         """Live worker PIDs (fault-injection tests kill these)."""
@@ -496,19 +522,16 @@ class WorkerPool:
             if len(worker.inflight) >= self.config.queue_depth:
                 self.stats.dispatch_backpressure += 1
                 return None
-            if self._use_shm:
+            # A worker whose rings failed to allocate (shm pressure at
+            # spawn time) runs on pipe transport even in an shm pool.
+            use_shm = self._use_shm and worker.task_ring is not None
+            force_inline = self._inject_resource_fault(worker, use_shm)
+            if use_shm:
                 payload = self._encode_task_shm(worker, task_id, rip,
                                                 occurrences,
                                                 max_instructions,
-                                                state_bytes, flags)
-                if payload is None:
-                    # The least-loaded worker's ring is full: treat it
-                    # like queue-depth backpressure — the engine tries
-                    # again at the next boundary, by which time poll()
-                    # will have drained and released ring space.
-                    self.stats.ring_full_backpressure += 1
-                    self.stats.dispatch_backpressure += 1
-                    return None
+                                                state_bytes, flags,
+                                                force_inline=force_inline)
             else:
                 payload = wire.encode_task(task_id, rip, occurrences,
                                            max_instructions, state_bytes,
@@ -518,7 +541,7 @@ class WorkerPool:
             except (OSError, ValueError, BrokenPipeError):
                 self._deferred.extend(self._fail_worker(worker, TASK_CRASHED))
                 continue
-            if self._use_shm:
+            if use_shm:
                 # Commit the delta base only now: a failed send means
                 # the worker never saw the blob, so the old base (or
                 # none, after the respawn above) stays authoritative.
@@ -541,18 +564,26 @@ class WorkerPool:
         return None
 
     def _encode_task_shm(self, worker, task_id, rip, occurrences,
-                         max_instructions, state_bytes, flags):
+                         max_instructions, state_bytes, flags,
+                         force_inline=False):
         """Encode one shm-transport task: push the delta blob into the
-        worker's task ring and build the control frame. Returns the
-        frame, or ``None`` when the ring is full (backpressure). A blob
-        the ring can *never* hold travels inline on the pipe instead.
+        worker's task ring and build the control frame. A blob the ring
+        cannot take right now — full ring, oversized blob, or a chaos
+        ``shm_full`` fault (``force_inline``) — travels inline on the
+        pipe instead: shm pressure degrades throughput, never refuses
+        the dispatch. The ledgers stay reconcilable either way:
+        ``state_bytes_shipped == shm_bytes_written + shm_fallback_bytes``.
         """
         blob = wire.encode_state_delta(state_bytes, base=worker.base_state)
         seq = None
-        if len(blob) <= worker.task_ring.capacity:
+        if not force_inline and len(blob) <= worker.task_ring.capacity:
             seq = worker.task_ring.try_push(blob)
             if seq is None:
-                return None
+                self.stats.ring_full_backpressure += 1
+        if seq is None:
+            self.stats.shm_fallbacks += 1
+            self.stats.shm_fallback_bytes += len(blob)
+        else:
             self.stats.shm_bytes_written += len(blob)
         if blob[0] == wire.DELTA_SPARSE:
             self.stats.states_delta += 1
@@ -580,6 +611,49 @@ class WorkerPool:
             # Backdate past the deadline so the reaper fires the real
             # deadline-overrun path (kill + timed-out outcomes).
             task.dispatch_time -= self.config.task_timeout_seconds + 1.0
+
+    def _inject_resource_fault(self, worker, use_shm):
+        """Pre-dispatch resource-tier fault decision. Returns ``True``
+        when this task's blob must skip the ring (``shm_full``); a
+        ``worker_oom`` tightens the target worker's memory cap before
+        the task lands so it fails as a contained MemoryError (or, with
+        no ``prlimit`` on this platform, as a plain worker crash)."""
+        if self.faults is None:
+            return False
+        allowed = ["worker_oom"]
+        if use_shm:
+            allowed.append("shm_full")
+        kind = self.faults.next_resource_fault(allowed)
+        if kind is None:
+            return False
+        self.stats.faults_injected += 1
+        if kind == "shm_full":
+            return True
+        self._tighten_worker_memory(worker)
+        return False
+
+    def _tighten_worker_memory(self, worker):
+        """Chaos ``worker_oom``: clamp the live worker's ``RLIMIT_AS``
+        soft limit so its next allocation burst raises MemoryError. The
+        worker's containment path restores its own soft limit (the hard
+        limit is left untouched), so the slot heals after one contained
+        failure. Platforms without ``prlimit`` fall back to an outright
+        kill — the crash path is the same byte-identical-safe outcome,
+        just less surgical."""
+        if (_resource is not None and hasattr(_resource, "prlimit")
+                and worker.proc.pid):
+            try:
+                __, hard = _resource.prlimit(worker.proc.pid,
+                                             _resource.RLIMIT_AS)
+                soft = 32 << 20
+                if hard != _resource.RLIM_INFINITY:
+                    soft = min(soft, hard)
+                _resource.prlimit(worker.proc.pid, _resource.RLIMIT_AS,
+                                  (soft, hard))
+                return
+            except (OSError, ValueError):
+                pass
+        worker.proc.kill()
 
     # -- collection ----------------------------------------------------------
 
@@ -742,6 +816,20 @@ class WorkerPool:
         else:
             self.stats.tasks_failed += 1
             status = TASK_FAILED
+            if msg.fault and msg.fault.startswith(OOM_FAULT_PREFIX):
+                # A speculation hit the worker memory cap and was
+                # contained (worker alive, task reported failed) — a
+                # structured incident, not just a counter, because an
+                # operator needs the rip to know *what* blew the budget.
+                self.stats.tasks_oom += 1
+                self.stats.incidents.append({
+                    "kind": "worker_oom",
+                    "worker": worker.index,
+                    "task_id": task.task_id,
+                    "rip": task.rip,
+                    "fault": msg.fault,
+                    "time": time.time(),
+                })
         return TaskOutcome(task, status, entry=entry,
                            instructions=msg.instructions, halted=msg.halted,
                            fault=msg.fault, duration=duration)

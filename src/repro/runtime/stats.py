@@ -53,7 +53,16 @@ class RuntimeStats:
         self.states_full = 0  # start states shipped as full snapshots
         self.state_bytes_raw = 0  # raw state-vector bytes (pre-codec)
         self.state_bytes_shipped = 0  # encoded blob bytes (post-codec)
-        self.ring_full_backpressure = 0  # dispatches skipped: ring full
+        self.ring_full_backpressure = 0  # ring-full events at dispatch
+        # Ring pressure no longer refuses a dispatch: a blob that does
+        # not fit (ring full, oversized, or a chaos shm_full fault)
+        # falls back to inline pipe delivery. The ledger invariant the
+        # property test pins: on the shm transport,
+        # state_bytes_shipped == shm_bytes_written + shm_fallback_bytes.
+        self.shm_fallbacks = 0  # task blobs delivered inline instead
+        self.shm_fallback_bytes = 0  # bytes of those inline blobs
+        self.shm_alloc_failures = 0  # ring creation failed -> pipe worker
+        self.tasks_oom = 0  # contained worker MemoryErrors (rlimit hit)
         self.stale_results = 0  # epoch-mismatch replies (re-dispatched)
         self.worker_instructions = 0  # really executed on workers
         self.inflight_waits = 0  # boundaries spent waiting on a worker

@@ -24,13 +24,18 @@ so that a Ctrl-C delivered to the foreground process group interrupts
 only the engine, which then shuts the pool down deliberately.
 """
 
+import gc
 import os
 import signal
 
-from repro.core.speculation import run_speculation
+from repro.core.speculation import SpeculationResult, run_speculation
 from repro.loader.image import Program
-from repro.runtime import shm, wire
+from repro.runtime import resources, shm, wire
 from repro.verify.audit import run_audit
+
+#: Fault-string prefix for a contained out-of-memory speculation; the
+#: pool keys its ``tasks_oom`` counter and incident reports off it.
+OOM_FAULT_PREFIX = "oom:"
 
 
 def _run_task(context, start_state, rip, occurrences, max_instructions,
@@ -42,6 +47,30 @@ def _run_task(context, start_state, rip, occurrences, max_instructions,
                          occurrences=occurrences)
     return run_speculation(context, start_state, rip, occurrences,
                            max_instructions)
+
+
+def _contained_run(context, start_state, rip, occurrences,
+                   max_instructions, flags, rlimit_restore):
+    """Run one task with ``MemoryError`` contained.
+
+    Under ``RLIMIT_AS`` a runaway speculation surfaces as a Python
+    ``MemoryError`` rather than a host-level OOM kill. Speculation is
+    disposable, so the right answer is a *failed task*, not a dead
+    worker: restore the soft limit (a chaos ``prlimit`` tightening may
+    have lowered it), drop whatever the aborted run allocated, and
+    report the fault. A MemoryError so severe this handler itself
+    cannot run ends the process — the ordinary worker-crash path.
+    """
+    try:
+        return _run_task(context, start_state, rip, occurrences,
+                         max_instructions, flags)
+    except MemoryError:
+        resources.restore_rlimit_as(rlimit_restore)
+        gc.collect()
+        return SpeculationResult(
+            None, 0, False,
+            fault=OOM_FAULT_PREFIX
+            + " speculation exceeded the worker memory limit")
 
 
 def _take_blob(msg, task_ring, max_frame_bytes):
@@ -64,7 +93,7 @@ def _take_blob(msg, task_ring, max_frame_bytes):
 
 
 def worker_main(conn, program_payload, fast_path, max_frame_bytes=None,
-                shm_names=None, parent_pid=None):
+                shm_names=None, parent_pid=None, rlimit_as_bytes=None):
     """Entry point for a pool worker (``multiprocessing.Process`` target).
 
     ``conn`` is the worker end of a duplex pipe; ``program_payload`` the
@@ -78,12 +107,19 @@ def worker_main(conn, program_payload, fast_path, max_frame_bytes=None,
     ``parent_pid`` is the engine's pid as the *pool* recorded it — the
     worker must not derive it itself, because an engine killed during
     worker startup re-parents the child before its first
-    ``os.getppid()`` could run.
+    ``os.getppid()`` could run. ``rlimit_as_bytes`` caps the worker's
+    address space (``RLIMIT_AS``) so a runaway speculation fails as a
+    contained task fault instead of taking the host.
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # non-main thread (tests) or odd platform
         pass
+    rlimit_restore = resources.apply_worker_rlimit(rlimit_as_bytes)
+    if rlimit_restore is None:
+        # No configured cap: remember the inherited limits anyway, so a
+        # chaos prlimit tightening can be undone after containment.
+        rlimit_restore = resources.current_rlimit_as()
     if max_frame_bytes is None:
         max_frame_bytes = wire.DEFAULT_MAX_FRAME_BYTES
     program = Program.from_dict(program_payload)
@@ -119,9 +155,10 @@ def worker_main(conn, program_payload, fast_path, max_frame_bytes=None,
                 break
             if msg_type == wire.MSG_TASK:
                 task = wire.decode_task(data, pos)
-                result = _run_task(context, task.start_state, task.rip,
-                                   task.occurrences, task.max_instructions,
-                                   task.flags)
+                result = _contained_run(context, task.start_state, task.rip,
+                                        task.occurrences,
+                                        task.max_instructions, task.flags,
+                                        rlimit_restore)
                 conn.send_bytes(wire.encode_result(task.task_id, result))
                 continue
             if msg_type != wire.MSG_TASK_SHM:
@@ -140,9 +177,9 @@ def worker_main(conn, program_payload, fast_path, max_frame_bytes=None,
             start_state = wire.decode_state_delta(blob, base=base_state)
             base_state = start_state
             base_epoch = msg.epoch
-            result = _run_task(context, start_state, msg.rip,
-                               msg.occurrences, msg.max_instructions,
-                               msg.flags)
+            result = _contained_run(context, start_state, msg.rip,
+                                    msg.occurrences, msg.max_instructions,
+                                    msg.flags, rlimit_restore)
             entry_blob = seq = None
             if result.entry is not None:
                 entry_blob = wire.encode_entry(result.entry)

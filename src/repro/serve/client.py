@@ -5,9 +5,10 @@ One :class:`ServeClient` wraps one socket connection and speaks the
 job's truth; the client's job is to keep a request alive across the
 failures a long-lived service actually has:
 
-* **busy** (admission control) and **connect errors** retry with
-  bounded exponential backoff plus jitter, so a thundering herd of
-  clients does not re-synchronize against a recovering daemon;
+* **busy** (per-client admission control), **overloaded** (resource
+  governor load shedding) and **connect errors** retry with bounded
+  exponential backoff plus jitter, so a thundering herd of clients
+  does not re-synchronize against a recovering daemon;
 * a **dead or restarted daemon** is survived transparently: every
   retryable verb reconnects and resends. All retried verbs are
   idempotent by construction — ``submit`` auto-generates an
@@ -157,8 +158,11 @@ class ServeClient:
             except ServeClientError as exc:
                 if exc.code in ("disconnected", "no-daemon", "connection"):
                     self._drop_connection()
-                elif exc.code == "busy":
-                    reconnect = False  # daemon healthy, just saturated
+                elif exc.code in ("busy", "overloaded"):
+                    # Daemon healthy, just saturated (per-client bound)
+                    # or shedding load (resource governor): back off on
+                    # the same connection and retry.
+                    reconnect = False
                 else:
                     raise  # authoritative refusal: retrying cannot help
                 error = exc

@@ -64,11 +64,35 @@ class ServeConfig:
                  no_progress_seconds=20.0,
                  kill_grace_seconds=5.0,
                  watchdog_interval_seconds=0.5,
-                 # Self-check: probe cadence and the /dev/shm headroom
-                 # below which the daemon flips into degraded mode
-                 # (sequential execution, cache write-through off).
+                 # Self-check: probe cadence and the shm headroom below
+                 # which the daemon flips into degraded mode (sequential
+                 # execution, cache write-through off). None follows
+                 # REPRO_SHM_HEADROOM_BYTES (default 64 MiB); 0 disables
+                 # the check.
                  selfcheck_interval_seconds=2.0,
-                 min_shm_headroom_bytes=64 * 1024 * 1024,
+                 min_shm_headroom_bytes=None,
+                 # Resource governance (see runtime/resources.py): the
+                 # admission-time floors behind load shedding. A submit
+                 # arriving while free disk under the journal/cache
+                 # directory is below min_disk_free_bytes, fd headroom
+                 # is below min_fd_headroom, or max_queued_jobs jobs are
+                 # already queued is refused with the retryable
+                 # "overloaded" error code instead of being accepted
+                 # and failed later. None follows REPRO_DISK_FLOOR_BYTES
+                 # / REPRO_FD_HEADROOM / REPRO_MAX_QUEUED_JOBS; 0
+                 # disables the corresponding check.
+                 min_disk_free_bytes=None,
+                 min_fd_headroom=None,
+                 max_queued_jobs=None,
+                 # Serve-tier chaos: a FaultPlan (instance or spec
+                 # string) whose resource faults the *daemon* consumes
+                 # at its own seams (disk_full at journal/cache writes,
+                 # fd_exhaust at admission). Deliberately separate from
+                 # REPRO_FAULT_PLAN, which the per-job pools inside the
+                 # daemon would also read — one plan must not be applied
+                 # twice at two layers. None follows
+                 # REPRO_SERVE_FAULT_PLAN.
+                 fault_plan=None,
                  # Lifecycle: how long a drain waits for running jobs
                  # before cancelling them at their next boundary, and
                  # how long a finished job waits for its pool's
@@ -108,7 +132,20 @@ class ServeConfig:
         self.kill_grace_seconds = kill_grace_seconds
         self.watchdog_interval_seconds = watchdog_interval_seconds
         self.selfcheck_interval_seconds = selfcheck_interval_seconds
+        from repro.runtime import resources
+        if min_shm_headroom_bytes is None:
+            min_shm_headroom_bytes = resources.default_shm_headroom_bytes()
         self.min_shm_headroom_bytes = min_shm_headroom_bytes
+        if min_disk_free_bytes is None:
+            min_disk_free_bytes = resources.default_disk_floor_bytes()
+        self.min_disk_free_bytes = min_disk_free_bytes
+        if min_fd_headroom is None:
+            min_fd_headroom = resources.default_fd_headroom()
+        self.min_fd_headroom = min_fd_headroom
+        if max_queued_jobs is None:
+            max_queued_jobs = resources.default_max_queued_jobs()
+        self.max_queued_jobs = max_queued_jobs
+        self.fault_plan = fault_plan
         self.drain_seconds = drain_seconds
         self.quiesce_seconds = quiesce_seconds
         self.max_instructions = max_instructions
@@ -120,6 +157,15 @@ class ServeConfig:
                              "got %r" % (autoscale,))
         self.autoscale = autoscale
         self.backlog = backlog
+
+    def resolve_fault_plan(self):
+        """The effective serve-tier plan: the configured one, or the
+        ``REPRO_SERVE_FAULT_PLAN`` spec."""
+        from repro.runtime.faults import FaultPlan, resolve_fault_plan
+        if self.fault_plan is not None:
+            return resolve_fault_plan(self.fault_plan)
+        spec = os.environ.get("REPRO_SERVE_FAULT_PLAN")
+        return FaultPlan.parse(spec) if spec else None
 
     def replace(self, **kwargs):
         """A copy with the given fields overridden."""

@@ -77,6 +77,7 @@ from repro.errors import ReproError
 from repro.loader.image import Program
 from repro.runtime import RealParallelEngine, RuntimeConfig, WorkerPool
 from repro.runtime import shm
+from repro.runtime.resources import ResourceGovernor
 from repro.serve import protocol
 from repro.serve.config import ServeConfig
 from repro.serve.journal import JobJournal
@@ -203,8 +204,30 @@ class SpeculationDaemon:
         self.jobs_requeued = 0
         self.jobs_deduped = 0
         self.jobs_degraded = 0
+        self.jobs_shed = 0
         self.journal_errors = 0
+        self.serve_faults_injected = 0
         self._jobs_since_flush = 0
+        # -- resource governance ---------------------------------------
+        # Admission-time load shedding: a submit arriving while a
+        # queue/fd/disk budget is exhausted is refused with the
+        # retryable "overloaded" code instead of being accepted and
+        # failed later. Shm pressure is deliberately NOT an admission
+        # floor — it has a gentler rung on the ladder (the self-check
+        # flips the daemon into sequential degraded mode, which still
+        # serves byte-identical results without rings). The disk probe
+        # watches the durability directory (journal beats cache:
+        # losing WAL appends is the worse failure).
+        self.governor = ResourceGovernor(
+            shm_headroom_floor=0,
+            disk_floor_bytes=self.config.min_disk_free_bytes,
+            fd_headroom_floor=self.config.min_fd_headroom,
+            max_queued_jobs=self.config.max_queued_jobs,
+            disk_path=(self.config.journal_dir or self.config.cache_dir))
+        # Serve-tier chaos plan (disk_full / fd_exhaust), consumed at
+        # the daemon's own seams — distinct from REPRO_FAULT_PLAN,
+        # which the per-job pools read.
+        self.serve_fault_plan = self.config.resolve_fault_plan()
         # -- crash-only machinery --------------------------------------
         self.watchdog = Watchdog(
             deadline_seconds=self.config.job_deadline_seconds,
@@ -404,6 +427,25 @@ class SpeculationDaemon:
             self._set_degraded(False, "self-check healthy")
         elif not self.degraded and not healthy:
             self._set_degraded(True, reason)
+        self._retry_suspended_durability()
+
+    def _retry_suspended_durability(self):
+        """Durability self-healing on the self-check cadence: a cache
+        store or journal that suspended write-through under ``ENOSPC``
+        retries here, so recovery needs only freed disk space — not a
+        lucky client write. A still-full disk just re-suspends (these
+        paths never raise for disk pressure)."""
+        if self.store.write_through_suspended:
+            try:
+                self.store.flush(force=True)
+            except Exception as exc:
+                self.selfcheck.note_flush_failure(exc)
+        if self.journal is not None and self.journal.journal_suspended:
+            # A mode record with the current mode is a semantic no-op
+            # on replay but a real durability probe: its success lifts
+            # the suspension.
+            self._journal("record_mode", self.journal.mode,
+                          "durability probe")
 
     def _set_degraded(self, degraded, reason):
         """Flip the journaled degraded/normal mode. Degraded jobs run
@@ -642,9 +684,46 @@ class SpeculationDaemon:
         return protocol.error_response("unknown verb %r" % (verb,),
                                        "bad-verb")
 
+    def _consume_serve_fault(self):
+        """Consume one serve-tier resource fault, arming the matching
+        deterministic failure: ``fd_exhaust`` forces the governor's fd
+        check to bind at this admission; ``disk_full`` arms one injected
+        ``ENOSPC`` in the journal and the cache store, so the next
+        durability write walks the real prune/retry/suspend ladder."""
+        plan = self.serve_fault_plan
+        if plan is None:
+            return
+        kind = plan.next_resource_fault(allowed=("disk_full", "fd_exhaust"))
+        if kind is None:
+            return
+        self.serve_faults_injected += 1
+        if kind == "fd_exhaust":
+            self.governor.force_pressure("fd", 1)
+        else:  # disk_full
+            if self.journal is not None:
+                self.journal.inject_enospc(1)
+            self.store.inject_enospc(1)
+
+    def _admission_shed(self):
+        """Load shedding at the front door: refuse *before* decoding
+        the program image — an overloaded daemon must get cheaper per
+        request, not more expensive. Returns an ``overloaded`` error
+        response (retryable; the client backs off) or ``None``."""
+        self._consume_serve_fault()
+        reason = self.governor.admission_reason(
+            queued_jobs=self.queue.queued_count())
+        if reason is None:
+            return None
+        self.jobs_shed += 1
+        return protocol.error_response(
+            "daemon overloaded (%s); retry later" % reason, "overloaded")
+
     def _handle_submit(self, request):
         if self._stop.is_set():
             return protocol.error_response("daemon is draining", "draining")
+        shed = self._admission_shed()
+        if shed is not None:
+            return shed
         client = str(request.get("client") or "anonymous")
         options = request.get("options") or {}
         if not isinstance(options, dict):
@@ -1185,7 +1264,8 @@ class SpeculationDaemon:
                              replayed=self.jobs_replayed,
                              requeued=self.jobs_requeued,
                              deduped=self.jobs_deduped,
-                             degraded=self.jobs_degraded),
+                             degraded=self.jobs_degraded,
+                             shed=self.jobs_shed),
                 "clients": clients,
                 "pools": pools,
                 "pools_created": self.pools_created,
@@ -1199,6 +1279,8 @@ class SpeculationDaemon:
                 "journal_errors": self.journal_errors,
                 "watchdog": self.watchdog.stats_dict(),
                 "selfcheck": self.selfcheck.stats_dict(),
+                "governor": self.governor.stats_dict(),
+                "serve_faults_injected": self.serve_faults_injected,
             }
 
     def status_dict(self):
@@ -1220,10 +1302,13 @@ class SpeculationDaemon:
                 "degraded_reason": self.degraded_reason,
                 "jobs": dict(by_state,
                              replayed=self.jobs_replayed,
-                             requeued=self.jobs_requeued),
+                             requeued=self.jobs_requeued,
+                             shed=self.jobs_shed),
                 "journal": (self.journal.stats_dict()
                             if self.journal is not None else None),
                 "journal_errors": self.journal_errors,
                 "watchdog": self.watchdog.stats_dict(),
                 "selfcheck": self.selfcheck.stats_dict(),
+                "governor": self.governor.stats_dict(),
+                "cache": self.store.stats_dict(),
             }

@@ -39,6 +39,7 @@ tmp+rename writes, pruned oldest-first) so a client's token poll can
 fetch a result across a daemon restart without re-running the job.
 """
 
+import errno
 import json
 import os
 import struct
@@ -47,6 +48,7 @@ import time
 
 from repro.core import cache_io
 from repro.errors import EngineError, ReproError
+from repro.runtime.resources import is_enospc
 
 _MAGIC = b"ASCJ"
 _VERSION = 1
@@ -123,6 +125,14 @@ class JobJournal:
         self.records_appended = 0
         self.records_replayed = 0
         self.truncated_bytes = 0
+        # -- disk-pressure state (see _append / store_result) ----------
+        self.enospc_events = 0
+        self.results_pruned_for_space = 0
+        self.records_dropped = 0
+        self.results_dropped = 0
+        self.journal_suspended = False
+        self.journal_resumes = 0
+        self._pending_enospc = 0  # injected faults (tests / repro chaos)
         self.mode = "normal"  # last journaled degraded-mode state
         self.jobs = {}  # job_id -> ReplayedJob, insertion-ordered
         self._replay()
@@ -220,7 +230,77 @@ class JobJournal:
 
     # -- appends -------------------------------------------------------------
 
+    def inject_enospc(self, n=1):
+        """Arm ``n`` deterministic disk-full faults: the next ``n``
+        journal/result writes raise ``ENOSPC`` before touching the
+        filesystem — the hook behind the ``disk_full`` chaos fault kind
+        and the satellite ENOSPC tests."""
+        with self._lock:
+            self._pending_enospc += int(n)
+
+    def _take_injected_locked(self):
+        """Consume one armed fault (caller holds the lock)."""
+        if self._pending_enospc > 0:
+            self._pending_enospc -= 1
+            raise OSError(errno.ENOSPC, "injected disk-full", self.path)
+
+    def _recover_tail(self, good_end):
+        """After a write failed partway: drop any half-flushed buffer
+        by reopening the handle, then truncate the file back to the
+        last record boundary. Every record appended *before* this one
+        stays replayable; the failed record simply never happened."""
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+        try:
+            os.truncate(self.path, good_end)
+        except OSError:
+            pass
+        self._handle = open(self.path, "ab")
+
+    def _prune_for_space(self, needed):
+        """Free at least ``needed`` bytes by dropping the oldest stored
+        results (a pruned result means a post-restart fetch re-runs the
+        job — correct, just slower). Returns the number removed."""
+        entries = []
+        try:
+            names = os.listdir(self.results_dir)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.results_dir, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        pruned = freed = 0
+        for __, size, path in entries:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            pruned += 1
+            freed += size
+            if freed >= needed:
+                break
+        self.results_pruned_for_space += pruned
+        return pruned
+
     def _append(self, record):
+        """Append one record, degrading under disk pressure.
+
+        The ladder mirrors the cache store: on ``ENOSPC`` rewind the
+        torn tail (the log stays structurally clean), prune the oldest
+        stored results to make room, retry once; if the disk is still
+        full, drop the record and mark the journal **suspended** —
+        served results stay correct, only crash-replay fidelity
+        degrades, and the first successful append after space returns
+        clears the flag. Never raises for disk pressure."""
         with self._lock:
             self._seq += 1
             record["seq"] = self._seq
@@ -231,11 +311,30 @@ class JobJournal:
                 raise JournalError("journal record of %d bytes exceeds the "
                                    "%d-byte cap"
                                    % (len(payload), MAX_RECORD_BYTES))
-            self._handle.write(cache_io.encode_section(RECORD_TAG, payload))
-            self._handle.flush()
-            if self.fsync:
-                os.fsync(self._handle.fileno())
-            self.records_appended += 1
+            frame = cache_io.encode_section(RECORD_TAG, payload)
+            for attempt in (0, 1):
+                good_end = self._handle.tell()
+                try:
+                    self._take_injected_locked()
+                    self._handle.write(frame)
+                    self._handle.flush()
+                    if self.fsync:
+                        os.fsync(self._handle.fileno())
+                except OSError as exc:
+                    if not is_enospc(exc):
+                        raise
+                    self.enospc_events += 1
+                    self._recover_tail(good_end)
+                    if attempt == 0 and self._prune_for_space(len(frame)):
+                        continue
+                    self.journal_suspended = True
+                    self.records_dropped += 1
+                    return
+                self.records_appended += 1
+                if self.journal_suspended:
+                    self.journal_suspended = False
+                    self.journal_resumes += 1
+                return
 
     def record_submit(self, job, token):
         """Durably log an accepted submission (before the client ack)."""
@@ -271,17 +370,34 @@ class JobJournal:
 
     def store_result(self, job_id, payload):
         """Atomically persist one finished payload, then prune the
-        store oldest-first back under ``result_store_bytes``."""
+        store oldest-first back under ``result_store_bytes``.
+
+        Under ``ENOSPC`` the same ladder as :meth:`_append`: the temp
+        file never survives (``write_atomic`` removes it), the oldest
+        stored results are pruned to make room, one retry; if the disk
+        is still full the result is dropped from the *store* only —
+        the in-memory copy still serves every fetch until a restart,
+        after which the job re-runs (correct, just slower). Returns
+        True when the payload reached disk."""
         path = self._result_path(job_id)
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, separators=(",", ":"),
-                      sort_keys=True)
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
-        os.replace(tmp, path)
-        self._prune_results()
+        blob = json.dumps(payload, separators=(",", ":"),
+                          sort_keys=True).encode("utf-8")
+        for attempt in (0, 1):
+            try:
+                with self._lock:
+                    self._take_injected_locked()
+                cache_io.write_atomic(path, blob, fsync=self.fsync)
+            except OSError as exc:
+                if not is_enospc(exc):
+                    raise
+                self.enospc_events += 1
+                if attempt == 0 and self._prune_for_space(len(blob)):
+                    continue
+                self.results_dropped += 1
+                return False
+            self._prune_results()
+            return True
+        return False
 
     def load_result(self, job_id):
         """A stored payload, or ``None`` (missing, pruned, or torn —
@@ -359,4 +475,10 @@ class JobJournal:
             "jobs_replayed": len(self.jobs),
             "result_files": result_files,
             "result_bytes": result_bytes,
+            "enospc_events": self.enospc_events,
+            "results_pruned_for_space": self.results_pruned_for_space,
+            "records_dropped": self.records_dropped,
+            "results_dropped": self.results_dropped,
+            "journal_suspended": self.journal_suspended,
+            "journal_resumes": self.journal_resumes,
         }

@@ -30,6 +30,15 @@ Verbs
 ``status``   -> health probe: journal, watchdog, degraded-mode state
 ``shutdown`` -> drain and stop the daemon
 
+Error codes split into two classes the client acts on differently:
+**retryable** — ``busy`` (per-client admission bound), ``overloaded``
+(the resource governor shed the request at admission because a
+memory/disk/shm/fd budget is exhausted; back off and retry, the
+condition clears when pressure lifts), ``timeout``, ``connection``,
+``disconnected``, ``no-daemon`` — and **authoritative** refusals
+(``bad-request``, ``bad-program``, ``not-found``, ``draining``, ...)
+where asking again cannot change the answer.
+
 Version 2 added ``token`` fields, ``status``, and journal replay; the
 daemon still answers version-1 clients (it never rejects on the
 ``protocol`` field), so a mixed fleet keeps working across an upgrade.

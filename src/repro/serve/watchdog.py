@@ -48,6 +48,7 @@ import threading
 import time
 
 from repro.errors import ReproError
+from repro.runtime import resources
 
 #: Escalation stages, in order.
 STAGE_WATCHING = "watching"
@@ -237,9 +238,15 @@ class Watchdog:
 
 # -- resource self-checks (degraded-mode probes) ------------------------------
 
-def shm_headroom_bytes(path="/dev/shm"):
-    """Free bytes on the shared-memory tmpfs, or ``None`` when there is
-    no such filesystem (non-Linux; the shm transport is off anyway)."""
+def shm_headroom_bytes(path=None):
+    """Free bytes on the tmpfs actually backing
+    ``multiprocessing.shared_memory`` (probed once by
+    :func:`repro.runtime.resources.shm_backing_dir` — not a hardcoded
+    ``/dev/shm``, which is wrong on platforms that mount the POSIX shm
+    namespace elsewhere), or ``None`` when there is no such filesystem
+    (non-Linux; the shm transport is off anyway)."""
+    if path is None:
+        path = resources.shm_backing_dir()
     try:
         stat = os.statvfs(path)
     except (OSError, AttributeError):
@@ -250,10 +257,15 @@ def shm_headroom_bytes(path="/dev/shm"):
 class SelfCheck:
     """Aggregates the daemon's health probes into one healthy/degraded
     verdict, with a reason string for the journal. Deliberately free of
-    daemon state so tests can drive it with fake probes."""
+    daemon state so tests can drive it with fake probes.
 
-    def __init__(self, min_shm_headroom_bytes=64 * 1024 * 1024,
+    ``min_shm_headroom_bytes=None`` follows ``REPRO_SHM_HEADROOM_BYTES``
+    (default 64 MiB); ``0`` explicitly disables the headroom check."""
+
+    def __init__(self, min_shm_headroom_bytes=None,
                  headroom_probe=shm_headroom_bytes):
+        if min_shm_headroom_bytes is None:
+            min_shm_headroom_bytes = resources.default_shm_headroom_bytes()
         self.min_shm_headroom_bytes = min_shm_headroom_bytes
         self.headroom_probe = headroom_probe
         self.flush_failures = 0
@@ -276,7 +288,7 @@ class SelfCheck:
         headroom = self.headroom_probe()
         if headroom is not None and self.min_shm_headroom_bytes and \
                 headroom < self.min_shm_headroom_bytes:
-            return False, "/dev/shm headroom %d bytes below the %d floor" \
+            return False, "shm headroom %d bytes below the %d floor" \
                 % (headroom, self.min_shm_headroom_bytes)
         return True, None
 

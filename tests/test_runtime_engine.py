@@ -81,11 +81,20 @@ class TestCrashMidRun:
         from repro.runtime.pool import WorkerPool
         with WorkerPool(workload.program, DETERMINISTIC) as pool:
             def hook(engine, superstep):
-                # Kill a live worker at the third boundary, once.
-                if superstep == 3 and not killed:
-                    pid = pool.worker_pids()[0]
-                    os.kill(pid, signal.SIGKILL)
-                    killed.append(pid)
+                # Past warmup, kill a worker that still owes results —
+                # and keep killing at each boundary until the crash
+                # ledger shows a death caught work in flight. A single
+                # asynchronous kill races with result delivery: a
+                # victim that already flushed every in-flight result
+                # to the pipe dies as a quiet respawn with nothing
+                # left to crash, which on a loaded host can happen
+                # every time at one fixed boundary.
+                if superstep >= 3 and pool.stats.tasks_crashed == 0:
+                    for worker in pool._live():
+                        if worker.inflight:
+                            os.kill(worker.proc.pid, signal.SIGKILL)
+                            killed.append(worker.proc.pid)
+                            break
 
             engine = RealParallelEngine(
                 workload.program, config=workload.config,
